@@ -1,0 +1,142 @@
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/collectives"
+	"repro/internal/extrapolate"
+	"repro/internal/loggopsim"
+	"repro/internal/netmodel"
+	"repro/internal/noise"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// BenchmarkAblationExtrapolation validates the trace-extrapolation
+// substitute the paper relies on (§III-C): a small traced run
+// extrapolated to k*p ranks versus the workload generated directly at
+// k*p ranks. Collectives are exact under extrapolation; point-to-point
+// topology is approximated, so baselines differ slightly — the bench
+// records by how much, and whether CE slowdowns agree.
+func BenchmarkAblationExtrapolation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t := report.New("ablation: extrapolated vs directly generated traces (minife, firmware @ MTBCE 2s)",
+			"variant", "ranks", "baseline", "slowdown")
+		base, err := tracegen.Generate("minife", 8, 15, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		extr, err := extrapolate.Extrapolate(base, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		direct, err := tracegen.Generate("minife", 64, 15, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var baselines []int64
+		var slowdowns []float64
+		for _, v := range []struct {
+			name string
+			tr   *trace.Trace
+		}{{"extrapolated", extr}, {"direct", direct}} {
+			opsTrace := v.tr
+			ex, err := collectives.Expand(opsTrace, collectives.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			baseRes, err := loggopsim.Simulate(ex, loggopsim.Config{Net: netmodel.CrayXC40()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sample stats.Sample
+			for seed := uint64(1); seed <= 3; seed++ {
+				nm, err := noise.NewCE(opsTrace.NumRanks(), noise.Config{
+					Seed: seed, MTBCE: 2 * nsS, Duration: noise.Fixed(133 * nsMs), Target: noise.AllNodes,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := loggopsim.Simulate(ex, loggopsim.Config{Net: netmodel.CrayXC40(), Noise: nm})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sample.Add(stats.Slowdown(res.Makespan, baseRes.Makespan))
+			}
+			baselines = append(baselines, baseRes.Makespan)
+			slowdowns = append(slowdowns, sample.Mean())
+			t.AddRow(v.name, fmt.Sprintf("%d", opsTrace.NumRanks()),
+				report.Nanos(baseRes.Makespan), report.Pct(sample.Mean()))
+		}
+		writeResult(b, "ablation-extrapolation", t)
+		b.ReportMetric(100*float64(baselines[0]-baselines[1])/float64(baselines[1]), "baseline-delta-pct")
+		b.ReportMetric(slowdowns[0]-slowdowns[1], "slowdown-delta-pp")
+	}
+}
+
+// BenchmarkAblationCorrelatedSMM quantifies the effect the streaming
+// per-node model cannot express: with several ranks per node,
+// firmware-first logging (SMI in SMM) halts every co-located rank at
+// once. Correlated detours (noise.SharedCE) are compared against
+// independent per-rank detours at the same per-rank rate.
+func BenchmarkAblationCorrelatedSMM(b *testing.B) {
+	const (
+		ranks        = 64
+		ranksPerNode = 4
+	)
+	tr, err := tracegen.Generate("minife", ranks, 15, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := collectives.Expand(tr, collectives.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	baseRes, err := loggopsim.Simulate(ex, loggopsim.Config{Net: netmodel.CrayXC40(), RanksPerNode: ranksPerNode})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := report.New("ablation: correlated (SMM) vs independent CE detours (minife, 16 nodes x 4 ranks)",
+			"model", "slowdown")
+		var corr, indep stats.Sample
+		for seed := uint64(1); seed <= 4; seed++ {
+			shared, err := noise.NewSharedCE(ranks/ranksPerNode, ranksPerNode, noise.Config{
+				Seed: seed, MTBCE: 2 * nsS, Duration: noise.Fixed(50 * nsMs), Target: noise.AllNodes,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := loggopsim.Simulate(ex, loggopsim.Config{
+				Net: netmodel.CrayXC40(), RanksPerNode: ranksPerNode, Noise: shared,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			corr.Add(stats.Slowdown(res.Makespan, baseRes.Makespan))
+
+			ind, err := noise.NewCE(ranks, noise.Config{
+				Seed: seed, MTBCE: 2 * nsS, Duration: noise.Fixed(50 * nsMs), Target: noise.AllNodes,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res2, err := loggopsim.Simulate(ex, loggopsim.Config{
+				Net: netmodel.CrayXC40(), RanksPerNode: ranksPerNode, Noise: ind,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			indep.Add(stats.Slowdown(res2.Makespan, baseRes.Makespan))
+		}
+		t.AddRow("correlated-smm", report.Pct(corr.Mean()))
+		t.AddRow("independent", report.Pct(indep.Mean()))
+		writeResult(b, "ablation-correlated-smm", t)
+		b.ReportMetric(corr.Mean(), "correlated-pct")
+		b.ReportMetric(indep.Mean(), "independent-pct")
+	}
+}

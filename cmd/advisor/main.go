@@ -1,0 +1,88 @@
+// advisor turns the paper's analysis into prescriptive guidance: given
+// a logging mode, machine size and workload, how unreliable may the
+// DRAM be (minimum MTBCE per node, maximum CEs/GiB/year) before CE
+// logging costs more than an overhead budget?
+//
+// This is the paper's conclusion quantified: "If Firmware First CE
+// reporting is used on future systems, the MTBCE(node) for an exascale
+// system should not drop below 5,544-3,024 seconds".
+//
+// Examples:
+//
+//	advisor -mode firmware-emca -nodes 16384 -gib 700 -budget 10
+//	advisor -mode software-cmci -workload hpcg -nodes 16384 -gib 700
+//	advisor -perevent 7ms -workload lulesh -nodes 4096 -gib 512 -budget 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/systems"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	var (
+		mode     = flag.String("mode", "firmware-emca", "logging mode (hardware-only, software-cmci, firmware-emca)")
+		perEvent = flag.Duration("perevent", 0, "explicit per-CE handling time (overrides -mode)")
+		workload = flag.String("workload", "lulesh", "workload whose synchronization cadence to assume")
+		nodes    = flag.Int("nodes", 16384, "machine size in nodes")
+		gib      = flag.Float64("gib", 700, "DRAM GiB per node (for the CE/GiB/year conversion)")
+		budget   = flag.Float64("budget", 10, "acceptable slowdown in percent")
+	)
+	flag.Parse()
+
+	perEventNanos := int64(*perEvent)
+	if perEventNanos == 0 {
+		m, err := systems.LoggingModeByName(*mode)
+		if err != nil {
+			fatal(err)
+		}
+		perEventNanos = m.PerEventNanos
+	}
+	spec, err := tracegen.Lookup(*workload)
+	if err != nil {
+		fatal(err)
+	}
+	sync := predict.SyncInterval(spec)
+
+	res, err := predict.Budget(*nodes, perEventNanos, sync, *budget, *gib)
+	if err != nil {
+		fatal(err)
+	}
+
+	t := report.New(fmt.Sprintf("advisor: %s on %d nodes, %s cadence, %.0f%% budget",
+		*workload, *nodes, report.Nanos(sync), *budget),
+		"metric", "value")
+	t.AddRow("per-event-cost", report.Nanos(perEventNanos))
+	t.AddRow("min-mtbce-node", report.Nanos(res.MinMTBCENanos))
+	t.AddRow("max-ce/node/year", fmt.Sprintf("%.1f", res.MaxCEPerNodeYear))
+	t.AddRow("max-ce/gib/year", fmt.Sprintf("%.2f", res.MaxCEPerGiBYear))
+	t.AddRow("vs-cielo-rate", fmt.Sprintf("%.1fx", res.VsCielo))
+	if err := t.WriteASCII(os.Stdout); err != nil {
+		fatal(err)
+	}
+
+	fmt.Println()
+	t2 := report.New("Table II systems against this requirement", "system", "mtbce-node", "verdict")
+	mtbceSec := float64(res.MinMTBCENanos) / 1e9
+	for _, s := range systems.Simulated() {
+		verdict := "OK"
+		if s.MTBCESeconds < mtbceSec {
+			verdict = fmt.Sprintf("exceeds budget (needs >= %.0fs)", mtbceSec)
+		}
+		t2.AddRow(s.Name, fmt.Sprintf("%.1fs", s.MTBCESeconds), verdict)
+	}
+	if err := t2.WriteASCII(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// cesim runs a single correctable-error overhead simulation: one
+// workload at one scale under one CE scenario, and reports the slowdown
+// against the noise-free baseline.
+//
+// Examples:
+//
+//	cesim -workload lulesh -nodes 512 -iters 10 -mtbce 5544s -perevent 133ms
+//	cesim -workload hpcg -nodes 256 -mtbce 1s -perevent 775us -target 0 -reps 8
+//	cesim -workload minife -nodes 128 -system exascale-cielo-x10 -mode firmware-emca
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+	"repro/internal/report"
+	"repro/internal/systems"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "minife", "workload name (see cmd/tracegen -list)")
+		nodes    = flag.Int("nodes", 128, "target node count (one rank per node)")
+		iters    = flag.Int("iters", 8, "main-loop iterations")
+		mtbce    = flag.Duration("mtbce", 0, "per-node mean time between CEs (e.g. 5544s); 0 with -system uses Table II")
+		perEvent = flag.Duration("perevent", 0, "per-CE handling time (e.g. 133ms); 0 with -mode uses the named scenario")
+		system   = flag.String("system", "", "Table II system supplying the MTBCE (e.g. exascale-cielo-x10)")
+		mode     = flag.String("mode", "", "logging mode supplying the per-event cost (hardware-only, software-cmci, firmware-emca)")
+		target   = flag.Int("target", int(noise.AllNodes), "node experiencing CEs, or -1 for all nodes")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		reps     = flag.Int("reps", 3, "repetitions (distinct CE schedules)")
+		csvOut   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	)
+	flag.Parse()
+
+	mtbceNanos := int64(*mtbce)
+	if *system != "" {
+		sys, err := systems.ByName(*system)
+		if err != nil {
+			fatal(err)
+		}
+		mtbceNanos = sys.MTBCENanos()
+	}
+	perEventNanos := int64(*perEvent)
+	if *mode != "" {
+		m, err := systems.LoggingModeByName(*mode)
+		if err != nil {
+			fatal(err)
+		}
+		perEventNanos = m.PerEventNanos
+	}
+	if mtbceNanos <= 0 {
+		fatal(fmt.Errorf("cesim: provide -mtbce or -system"))
+	}
+	if perEventNanos <= 0 {
+		fatal(fmt.Errorf("cesim: provide -perevent or -mode"))
+	}
+
+	exp, err := core.NewExperiment(core.ExperimentConfig{
+		Workload: *workload, Nodes: *nodes, Iterations: *iters, TraceSeed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	rep, err := exp.RunRepeated(core.Scenario{
+		MTBCE:    mtbceNanos,
+		PerEvent: noise.Fixed(perEventNanos),
+		Target:   int32(*target),
+		Seed:     *seed + 1,
+	}, *reps)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	t := report.New(fmt.Sprintf("cesim: %s on %d nodes", *workload, exp.Ranks()),
+		"metric", "value")
+	t.AddRow("ranks", fmt.Sprintf("%d", exp.Ranks()))
+	t.AddRow("baseline-makespan", report.Nanos(exp.Baseline().Makespan))
+	t.AddRow("mtbce-node", report.Nanos(mtbceNanos))
+	t.AddRow("per-event", report.Nanos(perEventNanos))
+	if rep.Saturated && rep.Sample.N() == 0 {
+		t.AddRow("slowdown", "no-progress (CE load >= 1)")
+	} else {
+		s := rep.Sample.Summarize()
+		t.AddRow("slowdown-mean", report.Pct(s.Mean))
+		t.AddRow("slowdown-ci95", report.Pct(s.CI95))
+		t.AddRow("slowdown-min", report.Pct(s.Min))
+		t.AddRow("slowdown-max", report.Pct(s.Max))
+		t.AddRow("reps", fmt.Sprintf("%d", s.N))
+	}
+	t.AddRow("wall-time", elapsed.Truncate(time.Millisecond).String())
+
+	var werr error
+	if *csvOut {
+		werr = t.WriteCSV(os.Stdout)
+	} else {
+		werr = t.WriteASCII(os.Stdout)
+	}
+	if werr != nil {
+		fatal(werr)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

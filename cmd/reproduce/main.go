@@ -1,0 +1,57 @@
+// reproduce regenerates the paper's entire evaluation — Table II and
+// Figures 2 through 7 — into an output directory, with each result in
+// aligned-text, CSV and JSON forms plus a manifest recording scales,
+// seeds and wall times.
+//
+//	reproduce -out results                  # reduced scale, ~minutes
+//	reproduce -out results -scale paper     # Table II node counts, hours
+//	reproduce -out results -only 5,7        # a subset of figures
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "results", "output directory")
+		scale = flag.String("scale", "reduced", "reduced or paper")
+		nodes = flag.Int("nodes", 0, "reduced-scale node count override")
+		iters = flag.Int("iters", 0, "iterations override")
+		reps  = flag.Int("reps", 0, "repetitions override")
+		seed  = flag.Uint64("seed", 1, "base seed")
+		only  = flag.String("only", "", "comma-separated subset of {2,3,4,5,6,7}")
+	)
+	flag.Parse()
+
+	opts := core.Options{Nodes: *nodes, Iterations: *iters, Reps: *reps, Seed: *seed}
+	switch *scale {
+	case "reduced":
+	case "paper":
+		opts.Scale = core.Paper
+	default:
+		fatal(fmt.Errorf("reproduce: unknown scale %q", *scale))
+	}
+	cfg := campaign.Config{OutDir: *out, Options: opts, Log: os.Stderr}
+	if *only != "" {
+		cfg.Only = strings.Split(*only, ",")
+	}
+	res, err := campaign.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := res.Manifest.WriteASCII(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// anatomy dissects *where* correctable-error logging time goes at
+// scale: the raw detour time the errors steal versus the waiting time
+// those detours induce on other ranks through communication
+// dependencies (the propagation mechanism of the paper's Fig. 1).
+//
+//	go run ./examples/anatomy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+	"repro/internal/report"
+)
+
+func main() {
+	t := report.New("anatomy of firmware CE logging overhead (64 nodes, MTBCE 5s/node)",
+		"workload", "slowdown", "detour-time", "induced-wait", "amplification")
+	for _, wl := range []string{"lammps-lj", "minife", "lulesh", "lammps-crack"} {
+		exp, err := core.NewExperiment(core.ExperimentConfig{
+			Workload:   wl,
+			Nodes:      64,
+			Iterations: 40,
+			TraceSeed:  1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := exp.Run(core.Scenario{
+			MTBCE:    5_000_000_000,
+			PerEvent: noise.Fixed(133_000_000),
+			Target:   noise.AllNodes,
+			Seed:     9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p := res.Profile
+		// Baseline wait (load imbalance, network) exists without CEs;
+		// measure the CE-induced part against a clean profile.
+		clean, err := exp.Run(core.Scenario{
+			MTBCE:    1 << 62, // effectively no errors
+			PerEvent: noise.Fixed(1),
+			Target:   noise.AllNodes,
+			Seed:     9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		induced := p.Wait - clean.Profile.Wait
+		if induced < 0 {
+			induced = 0
+		}
+		amp := "-"
+		if p.Detour > 0 {
+			amp = fmt.Sprintf("%.1fx", float64(induced)/float64(p.Detour))
+		}
+		t.AddRow(wl,
+			report.Pct(res.SlowdownPct),
+			report.Nanos(p.Detour),
+			report.Nanos(induced),
+			amp)
+	}
+	if err := t.WriteASCII(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReading: the detour time scales only with each run's length (same CE")
+	fmt.Println("process everywhere); what differs is the *induced waiting* — tightly")
+	fmt.Println("coupled codes amplify every second of local detour into tens of")
+	fmt.Println("seconds of machine-wide stalls, which is why collective frequency")
+	fmt.Println("governs CE sensitivity (paper §IV-C).")
+}

@@ -1,0 +1,83 @@
+// cevsdue quantifies the paper's motivating comparison (§I): detected
+// uncorrectable errors (DUEs) force checkpoint/restart recovery, while
+// correctable errors (CEs) — roughly 20x more frequent — only cost
+// logging time. At what CE rate does *logging* overhead rival the
+// *restart* overhead everyone already budgets for?
+//
+//	go run ./examples/cevsdue
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/due"
+	"repro/internal/predict"
+	"repro/internal/report"
+	"repro/internal/systems"
+	"repro/internal/tracegen"
+)
+
+func main() {
+	const nodes = 16384
+	spec, err := tracegen.Lookup("lulesh")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sync := predict.SyncInterval(spec)
+
+	// The paper cites CE rates ~20x DUE rates on recent systems. The
+	// exascale scenarios raise only the *correctable* rate (weaker ECC
+	// still corrects single-symbol errors); hold the DUE rate at the
+	// Cielo-derived per-node value: 26.35/20 ~ 1.3 DUE/node/year, a
+	// ~25-minute system MTBF at 16,384 nodes. Checkpoint optimally
+	// (Daly) with a 60 s checkpoint and 120 s restart.
+	cielo, err := systems.ByName("cielo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	dueCfg := due.Config{
+		NodeMTBF:   int64(systems.SecondsPerYear / (cielo.CEPerNodeYear / 20) * 1e9),
+		Nodes:      nodes,
+		Checkpoint: 60 * 1e9,
+		Restart:    120 * 1e9,
+	}
+	duePct, err := dueCfg.ExpectedOverheadPct()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.New(
+		fmt.Sprintf("CE logging vs DUE restart overhead, %d-node exascale system (lulesh cadence)", nodes),
+		"system", "mtbce", "due-overhead", "ce-software", "ce-firmware")
+	for _, sys := range systems.ExascaleRows() {
+		cePct := func(perEvent int64) string {
+			est, err := predict.Slowdown(predict.Inputs{
+				Nodes:             nodes,
+				MTBCENanos:        sys.MTBCENanos(),
+				PerEventNanos:     perEvent,
+				SyncIntervalNanos: sync,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if est.Regime == predict.RegimeNoProgress {
+				return "no-progress"
+			}
+			return report.Pct(est.Pct)
+		}
+		t.AddRow(sys.Name,
+			fmt.Sprintf("%.0fs", sys.MTBCESeconds),
+			report.Pct(duePct),
+			cePct(systems.SoftwareCMCI.PerEventNanos),
+			cePct(systems.FirmwareEMCA.PerEventNanos))
+	}
+	if err := t.WriteASCII(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nReading: with software logging, CE handling stays far below the")
+	fmt.Println("checkpoint/restart overhead at every projected rate. With firmware-first")
+	fmt.Println("logging, CE *logging* overtakes DUE *recovery* as the dominant resilience")
+	fmt.Println("cost once rates climb past ~10-20x Cielo — the paper's core warning.")
+}

@@ -1,0 +1,106 @@
+package campaign
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func tinyOptions() core.Options {
+	return core.Options{Nodes: 16, Iterations: 2, Reps: 1, Seed: 1, Workloads: []string{"minife"}}
+}
+
+func TestRunSubset(t *testing.T) {
+	dir := t.TempDir()
+	var log bytes.Buffer
+	res, err := Run(Config{
+		OutDir:  dir,
+		Options: tinyOptions(),
+		Only:    []string{"4"},
+		Log:     &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// table2 + fig4.
+	if len(res.Artifacts) != 2 {
+		t.Fatalf("artifacts = %d, want 2: %+v", len(res.Artifacts), res.Artifacts)
+	}
+	for _, want := range []string{"table2.txt", "table2.csv", "fig4.txt", "fig4.csv", "fig4.json", "MANIFEST.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Fatalf("missing artifact %s: %v", want, err)
+		}
+	}
+	// Figures not selected are absent.
+	if _, err := os.Stat(filepath.Join(dir, "fig5.txt")); err == nil {
+		t.Fatal("unselected figure produced")
+	}
+	if !strings.Contains(log.String(), "fig4 done") {
+		t.Fatalf("progress log missing: %q", log.String())
+	}
+}
+
+func TestRunJSONParsesBack(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Run(Config{OutDir: dir, Options: tinyOptions(), Only: []string{"4"}}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "fig4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fig, err := core.ReadFigureJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "fig4" || len(fig.Rows) == 0 {
+		t.Fatalf("bad parsed figure: %s, %d rows", fig.ID, len(fig.Rows))
+	}
+}
+
+func TestRunRequiresOutDir(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("missing output dir accepted")
+	}
+}
+
+func TestRunTable2Only(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(Config{OutDir: dir, Options: tinyOptions(), Only: []string{"none-such"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Artifacts) != 1 || res.Artifacts[0].Name != "table2" {
+		t.Fatalf("artifacts: %+v", res.Artifacts)
+	}
+}
+
+func TestManifestContents(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Run(Config{OutDir: dir, Options: tinyOptions(), Only: []string{"4"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.Manifest.WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"table2", "fig4", "fig4.json"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("manifest missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "MANIFEST.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != out {
+		t.Fatal("written manifest differs from returned manifest")
+	}
+}

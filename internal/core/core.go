@@ -1,0 +1,193 @@
+// Package core is the public face of the library: it wires workload
+// generation, collective expansion, LogGOPS simulation and
+// correctable-error injection into the paper's experiment pipeline, and
+// provides one driver per evaluation table/figure (see figures.go).
+//
+// The basic unit is the Experiment: a workload trace at a given scale,
+// expanded and simulated once without noise (the baseline), against
+// which any number of CE-injection scenarios are evaluated. Slowdown is
+// the paper's metric: (perturbed - baseline) / baseline * 100.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/collectives"
+	"repro/internal/loggopsim"
+	"repro/internal/netmodel"
+	"repro/internal/noise"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// ExperimentConfig describes a workload at a scale.
+type ExperimentConfig struct {
+	// Workload is a tracegen workload name.
+	Workload string
+	// Nodes is the target node count (one rank per node, as in the
+	// paper). Workload decomposition constraints may reduce it; see
+	// tracegen.PreferredRanks.
+	Nodes int
+	// Iterations is the number of main-loop iterations to generate.
+	Iterations int
+	// TraceSeed drives workload generation (compute jitter).
+	TraceSeed uint64
+	// Net is the LogGOPS parameter set; zero value means Cray XC40.
+	Net netmodel.Params
+	// Collectives selects expansion algorithms.
+	Collectives collectives.Config
+}
+
+// Experiment is a prepared workload with its noise-free baseline.
+type Experiment struct {
+	cfg      ExperimentConfig
+	expanded *trace.Trace
+	baseline *loggopsim.Result
+	ranks    int
+}
+
+// NewExperiment generates the trace, expands collectives and simulates
+// the noise-free baseline.
+func NewExperiment(cfg ExperimentConfig) (*Experiment, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("core: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("core: need at least 1 iteration, got %d", cfg.Iterations)
+	}
+	if cfg.Net == (netmodel.Params{}) {
+		cfg.Net = netmodel.CrayXC40()
+	}
+	ranks := tracegen.PreferredRanks(cfg.Workload, cfg.Nodes)
+	tr, err := tracegen.Generate(cfg.Workload, ranks, cfg.Iterations, cfg.TraceSeed)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := collectives.Expand(tr, cfg.Collectives)
+	if err != nil {
+		return nil, err
+	}
+	base, err := loggopsim.Simulate(ex, loggopsim.Config{Net: cfg.Net})
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline simulation: %w", err)
+	}
+	return &Experiment{cfg: cfg, expanded: ex, baseline: base, ranks: ranks}, nil
+}
+
+// Ranks returns the actual rank count after decomposition adjustment.
+func (e *Experiment) Ranks() int { return e.ranks }
+
+// Baseline returns the noise-free simulation result.
+func (e *Experiment) Baseline() *loggopsim.Result { return e.baseline }
+
+// Config returns the experiment configuration.
+func (e *Experiment) Config() ExperimentConfig { return e.cfg }
+
+// Scenario describes one CE-injection configuration.
+type Scenario struct {
+	// MTBCE is the per-node mean time between CEs, in nanoseconds.
+	// Ignored when Arrivals is set.
+	MTBCE int64
+	// Arrivals overrides the Poisson arrival process (e.g. a bursty
+	// process for the paper's conclusion (iii) scenarios).
+	Arrivals noise.Arrivals
+	// PerEvent is the per-CE handling time model.
+	PerEvent noise.Duration
+	// Target is the node experiencing CEs, or noise.AllNodes.
+	Target int32
+	// Seed drives the CE arrival randomness.
+	Seed uint64
+}
+
+// RunResult is the outcome of one perturbed simulation.
+type RunResult struct {
+	// SlowdownPct is (perturbed-baseline)/baseline*100.
+	SlowdownPct float64
+	// Perturbed is the noisy simulation result.
+	Perturbed *loggopsim.Result
+	// CEEvents is the number of detours charged.
+	CEEvents uint64
+	// CEStolenNanos is the total CPU time consumed by CE handling.
+	CEStolenNanos int64
+	// Saturated reports that the CE load prevented forward progress
+	// (analytically, when load >= 1, or detected during simulation).
+	Saturated bool
+	// Profile decomposes the perturbed run's time into requested work,
+	// injected detours and blocked waiting (see loggopsim.Profile).
+	Profile *loggopsim.Profile
+}
+
+// saturationLoad is the CE handling load (mean handling time / MTBCE)
+// at and above which a node cannot make forward progress; such
+// scenarios are reported as saturated without simulating.
+const saturationLoad = 1.0
+
+// Run simulates the experiment under one CE scenario.
+func (e *Experiment) Run(sc Scenario) (*RunResult, error) {
+	ncfg := noise.Config{
+		Seed:             sc.Seed,
+		MTBCE:            sc.MTBCE,
+		Arrivals:         sc.Arrivals,
+		Duration:         sc.PerEvent,
+		Target:           sc.Target,
+		SaturationFactor: 1000,
+	}
+	if err := ncfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ncfg.LoadFactor() >= saturationLoad {
+		// The renewal race diverges: the application makes no
+		// meaningful progress (the paper's Fig. 7 omits such points).
+		return &RunResult{Saturated: true, SlowdownPct: 0}, nil
+	}
+	nm, err := noise.NewCE(e.ranks, ncfg)
+	if err != nil {
+		return nil, err
+	}
+	res, err := loggopsim.Simulate(e.expanded, loggopsim.Config{Net: e.cfg.Net, Noise: nm, Profile: true})
+	if err != nil {
+		return nil, fmt.Errorf("core: perturbed simulation: %w", err)
+	}
+	return &RunResult{
+		SlowdownPct:   stats.Slowdown(res.Makespan, e.baseline.Makespan),
+		Perturbed:     res,
+		CEEvents:      nm.Events(),
+		CEStolenNanos: nm.Stolen(),
+		Saturated:     nm.Saturated(),
+		Profile:       res.Profile,
+	}, nil
+}
+
+// Repeated is the aggregate of several repetitions of one scenario with
+// different CE seeds (the paper averages >= 8 runs per configuration).
+type Repeated struct {
+	Sample    stats.Sample
+	Saturated bool
+}
+
+// RunRepeated runs the scenario reps times with seeds sc.Seed,
+// sc.Seed+1, ... and collects the slowdown sample. A saturated scenario
+// short-circuits: the sample stays empty and Saturated is set.
+func (e *Experiment) RunRepeated(sc Scenario, reps int) (*Repeated, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("core: reps must be >= 1, got %d", reps)
+	}
+	out := &Repeated{}
+	for i := 0; i < reps; i++ {
+		sci := sc
+		sci.Seed = sc.Seed + uint64(i)
+		res, err := e.Run(sci)
+		if err != nil {
+			return nil, err
+		}
+		if res.Saturated {
+			out.Saturated = true
+			if res.Perturbed == nil {
+				return out, nil // analytic saturation: no sample at all
+			}
+		}
+		out.Sample.Add(res.SlowdownPct)
+	}
+	return out, nil
+}

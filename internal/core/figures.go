@@ -1,0 +1,472 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mca"
+	"repro/internal/noise"
+	"repro/internal/report"
+	"repro/internal/systems"
+	"repro/internal/tracegen"
+)
+
+const (
+	nsPerUs = int64(1000)
+	nsPerMs = int64(1000 * 1000)
+	nsPerS  = int64(1000 * 1000 * 1000)
+)
+
+// Scale selects between figure-fidelity and tractable runs.
+type Scale int
+
+// Scales.
+const (
+	// Reduced runs each figure on a small node count with the per-node
+	// CE rate scaled up so the *aggregate* CE rate matches the paper's
+	// system ("scale compensation"). First-order overheads — the
+	// product of aggregate CE rate and per-event cost serialized
+	// through collectives — are preserved; collective depth (log2 of
+	// the rank count) is the main second-order difference.
+	Reduced Scale = iota
+	// Paper runs the figure at the paper's simulated node counts
+	// (Table II). Expect minutes to hours per figure.
+	Paper
+)
+
+// Options control the figure drivers.
+type Options struct {
+	// Scale selects Reduced (default) or Paper fidelity.
+	Scale Scale
+	// Nodes overrides the reduced-scale node count (default 512).
+	// Ignored at Paper scale, where Table II's SimNodes are used.
+	// Note that aggressive reduction inflates the per-node CE rate
+	// through scale compensation, which pushes the short-detour
+	// (software-logging) regime from "absorbed" toward "serialized";
+	// keep the reduction factor modest (<= ~32x) when the software
+	// rows matter.
+	Nodes int
+	// Iterations overrides the main-loop iteration count. When zero,
+	// each workload runs enough iterations to cover SpanNanos of
+	// simulated time (subject to OpsBudget), so short-grained workloads
+	// (lammps-crack's 4 ms steps) see as many CE opportunities as
+	// long-grained ones.
+	Iterations int
+	// SpanNanos is the target simulated run length per workload when
+	// Iterations is zero (default 1.5 s).
+	SpanNanos int64
+	// OpsBudget caps the trace size (ranks x ops/rank) when Iterations
+	// is zero (default 4M reduced, 64M paper).
+	OpsBudget int
+	// Reps overrides the repetitions per configuration
+	// (default: 3 reduced, 8 paper — the paper averages >= 8).
+	Reps int
+	// Seed is the base seed for trace generation and CE schedules.
+	Seed uint64
+	// Workloads restricts the workload set (default: all nine).
+	Workloads []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Nodes == 0 {
+		o.Nodes = 512
+	}
+	if o.SpanNanos == 0 {
+		o.SpanNanos = 1500 * nsPerMs
+	}
+	if o.OpsBudget == 0 {
+		if o.Scale == Paper {
+			o.OpsBudget = 64 << 20
+		} else {
+			o.OpsBudget = 4 << 20
+		}
+	}
+	if o.Reps == 0 {
+		if o.Scale == Paper {
+			o.Reps = 8
+		} else {
+			o.Reps = 3
+		}
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = tracegen.Names()
+	}
+	return o
+}
+
+// nodesFor returns the node count to simulate for a system whose paper
+// simulation used paperNodes, plus the MTBCE compensation factor.
+func (o Options) nodesFor(paperNodes int) (nodes int, compensate float64) {
+	if o.Scale == Paper {
+		return paperNodes, 1
+	}
+	if o.Nodes >= paperNodes {
+		return paperNodes, 1
+	}
+	return o.Nodes, float64(o.Nodes) / float64(paperNodes)
+}
+
+// compensateMTBCE scales a per-node MTBCE so that simNodes nodes carry
+// the same aggregate CE rate as the paper's node count.
+func compensateMTBCE(mtbceNanos int64, factor float64) int64 {
+	out := int64(float64(mtbceNanos) * factor)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// Row is one bar/point of a figure.
+type Row struct {
+	Workload      string
+	System        string // Table II system, when applicable
+	Mode          string // logging mode or duration label
+	MTBCENanos    int64  // per-node MTBCE actually simulated
+	PerEventNanos int64
+	Nodes         int
+	Reps          int
+	MeanPct       float64
+	CI95Pct       float64
+	Saturated     bool
+}
+
+// Figure is a regenerated table/figure.
+type Figure struct {
+	ID    string
+	Title string
+	Rows  []Row
+}
+
+// Table renders the figure data as a report table.
+func (f *Figure) Table() *report.Table {
+	t := report.New(fmt.Sprintf("%s: %s", f.ID, f.Title),
+		"workload", "system", "mode", "mtbce", "per-event", "nodes", "reps", "slowdown", "ci95")
+	for _, r := range f.Rows {
+		slow := report.Pct(r.MeanPct)
+		if r.Saturated {
+			slow = "no-progress"
+		}
+		t.AddRow(r.Workload, r.System, r.Mode,
+			report.Nanos(r.MTBCENanos), report.Nanos(r.PerEventNanos),
+			fmt.Sprintf("%d", r.Nodes), fmt.Sprintf("%d", r.Reps),
+			slow, report.Pct(r.CI95Pct))
+	}
+	return t
+}
+
+// expCache builds each (workload, nodes) experiment at most once per
+// figure.
+type expCache struct {
+	opts Options
+	m    map[string]*Experiment
+}
+
+func newExpCache(opts Options) *expCache {
+	return &expCache{opts: opts, m: map[string]*Experiment{}}
+}
+
+func (c *expCache) get(workload string, nodes int) (*Experiment, error) {
+	key := fmt.Sprintf("%s/%d", workload, nodes)
+	if e, ok := c.m[key]; ok {
+		return e, nil
+	}
+	iters, err := c.opts.iterationsFor(workload, nodes)
+	if err != nil {
+		return nil, err
+	}
+	e, err := NewExperiment(ExperimentConfig{
+		Workload:   workload,
+		Nodes:      nodes,
+		Iterations: iters,
+		TraceSeed:  c.opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.m[key] = e
+	return e, nil
+}
+
+// iterationsFor picks the iteration count for a workload: the explicit
+// override, or enough iterations to span SpanNanos of simulated time,
+// capped so the expanded trace stays within OpsBudget operations.
+func (o Options) iterationsFor(workload string, nodes int) (int, error) {
+	if o.Iterations != 0 {
+		return o.Iterations, nil
+	}
+	spec, err := tracegen.Lookup(workload)
+	if err != nil {
+		return 0, err
+	}
+	iters := int(o.SpanNanos / spec.ComputeNs)
+	if iters < 4 {
+		iters = 4
+	}
+	// Estimate expanded ops per rank per iteration: halo (4 ops per
+	// neighbour) plus ~3*ceil(log2 n) per collective.
+	nb := 2 * spec.Dims
+	if spec.Stencil == tracegen.Full {
+		nb = 1
+		for i := 0; i < spec.Dims; i++ {
+			nb *= 3
+		}
+		nb--
+	}
+	logN := 1
+	for v := 1; v < nodes; v *= 2 {
+		logN++
+	}
+	colls := spec.DotsPerIter
+	if spec.AllreduceEvery > 0 {
+		colls++
+	}
+	opsPerIter := 4*nb + 4 + colls*3*logN
+	maxIters := o.OpsBudget / (nodes * opsPerIter)
+	if maxIters < 4 {
+		maxIters = 4
+	}
+	if iters > maxIters {
+		iters = maxIters
+	}
+	return iters, nil
+}
+
+// runRow executes one repeated scenario and appends a Row.
+func runRow(f *Figure, e *Experiment, opts Options, row Row, sc Scenario) error {
+	rep, err := e.RunRepeated(sc, opts.Reps)
+	if err != nil {
+		return err
+	}
+	row.Nodes = e.Ranks()
+	row.Reps = rep.Sample.N()
+	row.MTBCENanos = sc.MTBCE
+	row.MeanPct = rep.Sample.Mean()
+	row.CI95Pct = rep.Sample.CI95()
+	row.Saturated = rep.Saturated
+	f.Rows = append(f.Rows, row)
+	return nil
+}
+
+// Figure2 regenerates the node-level noise signatures (Fig. 2a-d plus
+// the "all logging off" case described in prose) and returns the
+// signatures plus a summary figure of per-mode detour statistics.
+func Figure2(seed uint64) (map[string]*mca.Signature, *report.Table, error) {
+	modes := []mca.Mode{mca.Native, mca.DryRun, mca.CorrectionOnly, mca.Software, mca.Firmware}
+	sigs := make(map[string]*mca.Signature, len(modes))
+	t := report.New("fig2: Blake noise signatures under EINJ CE injection",
+		"mode", "detours", "max-detour", "mean-detour", "noise", "per-event", "events")
+	for _, m := range modes {
+		sig, err := mca.Run(mca.Config{Seed: seed, Mode: m})
+		if err != nil {
+			return nil, nil, err
+		}
+		sigs[m.String()] = sig
+		st := sig.ComputeStats()
+		perEvent, events := sig.PerEventCost()
+		t.AddRow(m.String(),
+			fmt.Sprintf("%d", st.Count),
+			report.Nanos(st.MaxDur),
+			report.Nanos(int64(st.MeanDur)),
+			fmt.Sprintf("%.4f%%", st.NoisePct),
+			report.Nanos(int64(perEvent)),
+			fmt.Sprintf("%d", events))
+	}
+	return sigs, t, nil
+}
+
+// Figure3 regenerates the single-process CE sweep: slowdown vs
+// MTBCE(node) for the three logging overheads, with CEs confined to
+// rank 0 (§IV-B).
+func Figure3(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{ID: "fig3", Title: "single-process CEs: slowdown vs MTBCE(node)"}
+	// Single-node injection has far fewer CE opportunities per run than
+	// the all-node figures; double the repetitions to tame variance.
+	opts.Reps *= 2
+	mtbces := []int64{
+		1 * nsPerMs, 10 * nsPerMs, 100 * nsPerMs, 200 * nsPerMs,
+		1 * nsPerS, 10 * nsPerS, 100 * nsPerS, 1000 * nsPerS, 10000 * nsPerS,
+	}
+	cache := newExpCache(opts)
+	for _, wl := range opts.Workloads {
+		e, err := cache.get(wl, opts.Nodes)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range systems.LoggingModes() {
+			for i, mtbce := range mtbces {
+				sc := Scenario{
+					MTBCE:    mtbce,
+					PerEvent: noise.Fixed(mode.PerEventNanos),
+					Target:   0,
+					Seed:     opts.Seed + uint64(i)*1000 + 1,
+				}
+				row := Row{Workload: wl, Mode: mode.Name, PerEventNanos: mode.PerEventNanos}
+				if err := runRow(f, e, opts, row, sc); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// Figure4 regenerates the current-system study: Cielo, Trinity and
+// Summit at their Table II CE rates, all nodes affected (§IV-C).
+func Figure4(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{ID: "fig4", Title: "correctable error overheads on Cielo, Trinity, Summit"}
+	var rows []systems.System
+	for _, name := range []string{"cielo", "trinity", "summit"} {
+		s, err := systems.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, s)
+	}
+	return f, runSystems(f, opts, rows)
+}
+
+// Figure5 regenerates the exascale projections: the five hypothetical
+// systems of Table II, all nodes affected (§IV-C).
+func Figure5(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{ID: "fig5", Title: "correctable error overheads on hypothetical exascale systems"}
+	return f, runSystems(f, opts, systems.ExascaleRows())
+}
+
+// runSystems shares the Fig. 4/5 loop: systems x logging modes x
+// workloads.
+func runSystems(f *Figure, opts Options, rows []systems.System) error {
+	cache := newExpCache(opts)
+	for _, wl := range opts.Workloads {
+		for _, sys := range rows {
+			nodes, comp := opts.nodesFor(sys.SimNodes)
+			e, err := cache.get(wl, nodes)
+			if err != nil {
+				return err
+			}
+			mtbce := compensateMTBCE(sys.MTBCENanos(), comp)
+			for _, mode := range systems.LoggingModes() {
+				sc := Scenario{
+					MTBCE:    mtbce,
+					PerEvent: noise.Fixed(mode.PerEventNanos),
+					Target:   noise.AllNodes,
+					Seed:     opts.Seed + 1,
+				}
+				row := Row{Workload: wl, System: sys.Name, Mode: mode.Name, PerEventNanos: mode.PerEventNanos}
+				if err := runRow(f, e, opts, row, sc); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Figure6 regenerates the software/OS-reporting stress test: extreme
+// MTBCE values (36 s, 3.6 s, ~1 s) on an exascale-size system (§IV-D).
+func Figure6(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{ID: "fig6", Title: "software/OS reporting at extreme CE rates"}
+	const paperNodes = 16384
+	mtbces := []int64{36 * nsPerS, 3600 * nsPerMs, 1008 * nsPerMs}
+	cache := newExpCache(opts)
+	for _, wl := range opts.Workloads {
+		nodes, comp := opts.nodesFor(paperNodes)
+		e, err := cache.get(wl, nodes)
+		if err != nil {
+			return nil, err
+		}
+		for _, mtbce := range mtbces {
+			for _, mode := range systems.LoggingModes() {
+				sc := Scenario{
+					MTBCE:    compensateMTBCE(mtbce, comp),
+					PerEvent: noise.Fixed(mode.PerEventNanos),
+					Target:   noise.AllNodes,
+					Seed:     opts.Seed + 1,
+				}
+				row := Row{
+					Workload: wl, Mode: mode.Name,
+					System:        fmt.Sprintf("exascale@%s", report.Nanos(mtbce)),
+					PerEventNanos: mode.PerEventNanos,
+				}
+				if err := runRow(f, e, opts, row, sc); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// Figure7 regenerates the reporting-duration sweep: per-event overheads
+// from 150 ns to 133 ms at MTBCE(node) = 0.2 s and 720 s on an
+// exascale-size system (§IV-E). The 0.2 s x 133 ms point saturates
+// (the paper omits it: "essentially unable to make any reasonable
+// forward progress").
+func Figure7(opts Options) (*Figure, error) {
+	opts = opts.withDefaults()
+	f := &Figure{ID: "fig7", Title: "per-event reporting duration sweep"}
+	const paperNodes = 16384
+	mtbces := []int64{200 * nsPerMs, 720 * nsPerS}
+	durations := []int64{150, 1 * nsPerUs, 10 * nsPerUs, 100 * nsPerUs, 775 * nsPerUs, 10 * nsPerMs, 133 * nsPerMs}
+	cache := newExpCache(opts)
+	for _, wl := range opts.Workloads {
+		nodes, comp := opts.nodesFor(paperNodes)
+		e, err := cache.get(wl, nodes)
+		if err != nil {
+			return nil, err
+		}
+		for _, mtbce := range mtbces {
+			for _, dur := range durations {
+				sc := Scenario{
+					MTBCE:    compensateMTBCE(mtbce, comp),
+					PerEvent: noise.Fixed(dur),
+					Target:   noise.AllNodes,
+					Seed:     opts.Seed + 1,
+				}
+				row := Row{
+					Workload: wl,
+					System:   fmt.Sprintf("exascale@%s", report.Nanos(mtbce)),
+					Mode:     report.Nanos(dur), PerEventNanos: dur,
+				}
+				if err := runRow(f, e, opts, row, sc); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// Table2 renders the Table II catalog, including the MTBCE derived from
+// the CE-per-node-year column next to the stated value.
+func Table2() *report.Table {
+	t := report.New("table2: measured and hypothesized correctable error parameters",
+		"system", "class", "ce/node/yr", "gib/node", "ce/gib/yr", "mtbce-node", "mtbce-derived", "nodes", "sim-nodes")
+	classNames := map[systems.Class]string{
+		systems.DataCenter: "datacenter", systems.HPC: "hpc", systems.Exascale: "exascale",
+	}
+	for _, s := range systems.Catalog() {
+		t.AddRow(s.Name, classNames[s.Class],
+			fmt.Sprintf("%.2f", s.CEPerNodeYear),
+			fmt.Sprintf("%.0f", s.GiBPerNode),
+			fmt.Sprintf("%.2f", s.CEPerGiBYear),
+			fmt.Sprintf("%.1fs", s.MTBCESeconds),
+			fmt.Sprintf("%.1fs", s.ComputedMTBCESeconds()),
+			fmt.Sprintf("%d", s.Nodes),
+			fmt.Sprintf("%d", s.SimNodes))
+	}
+	return t
+}
+
+// Figures maps figure identifiers to their drivers, for cmd/cesweep.
+func Figures() map[string]func(Options) (*Figure, error) {
+	return map[string]func(Options) (*Figure, error){
+		"3": Figure3,
+		"4": Figure4,
+		"5": Figure5,
+		"6": Figure6,
+		"7": Figure7,
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// RunRepeatedParallel is RunRepeated with repetitions fanned out over
+// worker goroutines. Simulations share the experiment's expanded trace
+// read-only and build private state, so repetitions are independent;
+// results are accumulated in seed order, making the sample identical to
+// the sequential version. workers <= 0 selects GOMAXPROCS.
+func (e *Experiment) RunRepeatedParallel(sc Scenario, reps, workers int) (*Repeated, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("core: reps must be >= 1, got %d", reps)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	if workers == 1 {
+		return e.RunRepeated(sc, reps)
+	}
+
+	type outcome struct {
+		idx int
+		res *RunResult
+		err error
+	}
+	jobs := make(chan int)
+	results := make(chan outcome, reps)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sci := sc
+				sci.Seed = sc.Seed + uint64(i)
+				res, err := e.Run(sci)
+				results <- outcome{idx: i, res: res, err: err}
+			}
+		}()
+	}
+	go func() {
+		for i := 0; i < reps; i++ {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	collected := make([]outcome, 0, reps)
+	for o := range results {
+		if o.err != nil {
+			return nil, o.err
+		}
+		collected = append(collected, o)
+	}
+	sort.Slice(collected, func(i, j int) bool { return collected[i].idx < collected[j].idx })
+
+	out := &Repeated{}
+	for _, o := range collected {
+		if o.res.Saturated {
+			out.Saturated = true
+			if o.res.Perturbed == nil {
+				// Analytic saturation is seed-independent: mirror the
+				// sequential short-circuit (empty sample).
+				return &Repeated{Saturated: true}, nil
+			}
+		}
+		out.Sample.Add(o.res.SlowdownPct)
+	}
+	return out, nil
+}

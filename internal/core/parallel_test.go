@@ -1,0 +1,76 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	e := smallExp(t, "minife")
+	sc := Scenario{
+		MTBCE: 20 * nsPerMs, PerEvent: noise.Fixed(500 * nsPerUs), Target: noise.AllNodes, Seed: 7,
+	}
+	seq, err := e.RunRepeated(sc, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := e.RunRepeatedParallel(sc, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Sample.Values(), par.Sample.Values()) {
+		t.Fatalf("parallel sample differs:\nseq %v\npar %v", seq.Sample.Values(), par.Sample.Values())
+	}
+	if seq.Saturated != par.Saturated {
+		t.Fatal("saturation flags differ")
+	}
+}
+
+func TestParallelSingleWorkerDelegates(t *testing.T) {
+	e := smallExp(t, "minife")
+	sc := Scenario{MTBCE: 50 * nsPerMs, PerEvent: noise.Fixed(nsPerMs), Target: noise.AllNodes, Seed: 3}
+	a, err := e.RunRepeatedParallel(sc, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.RunRepeated(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Sample.Values(), b.Sample.Values()) {
+		t.Fatal("single-worker parallel diverged from sequential")
+	}
+}
+
+func TestParallelSaturationShortCircuits(t *testing.T) {
+	e := smallExp(t, "minife")
+	sc := Scenario{MTBCE: 10 * nsPerMs, PerEvent: noise.Fixed(133 * nsPerMs), Target: noise.AllNodes, Seed: 1}
+	rep, err := e.RunRepeatedParallel(sc, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Saturated || rep.Sample.N() != 0 {
+		t.Fatalf("saturated scenario mishandled: %+v", rep)
+	}
+}
+
+func TestParallelBadReps(t *testing.T) {
+	e := smallExp(t, "minife")
+	if _, err := e.RunRepeatedParallel(Scenario{MTBCE: nsPerS, PerEvent: noise.Fixed(1)}, 0, 2); err == nil {
+		t.Fatal("0 reps accepted")
+	}
+}
+
+func TestParallelDefaultWorkers(t *testing.T) {
+	e := smallExp(t, "minife")
+	sc := Scenario{MTBCE: 100 * nsPerMs, PerEvent: noise.Fixed(nsPerMs), Target: noise.AllNodes, Seed: 5}
+	rep, err := e.RunRepeatedParallel(sc, 3, 0) // workers = GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sample.N() != 3 {
+		t.Fatalf("sample size %d", rep.Sample.N())
+	}
+}

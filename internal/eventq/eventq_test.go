@@ -1,0 +1,143 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	q := New(0)
+	times := []int64{5, 3, 9, 1, 7, 3, 0}
+	for _, tm := range times {
+		q.Push(Event{Time: tm})
+	}
+	sorted := append([]int64(nil), times...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, want := range sorted {
+		got := q.Pop()
+		if got.Time != want {
+			t.Fatalf("pop %d: time %d, want %d", i, got.Time, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not empty after draining: %d", q.Len())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	q := New(0)
+	for i := int64(0); i < 100; i++ {
+		q.Push(Event{Time: 42, A: i})
+	}
+	for i := int64(0); i < 100; i++ {
+		e := q.Pop()
+		if e.A != i {
+			t.Fatalf("same-time events reordered: got %d at position %d", e.A, i)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	q := New(4)
+	q.Push(Event{Time: 10})
+	q.Push(Event{Time: 5})
+	if q.Peek().Time != 5 {
+		t.Fatalf("peek = %d, want 5", q.Peek().Time)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("peek changed length to %d", q.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	q := New(0)
+	q.Push(Event{Time: 1})
+	q.Push(Event{Time: 2})
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatal("reset did not empty queue")
+	}
+	q.Push(Event{Time: 3})
+	if q.Pop().Time != 3 {
+		t.Fatal("queue unusable after reset")
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	q := New(0)
+	r := rand.New(rand.NewSource(1))
+	var last int64 = -1 << 62
+	pending := 0
+	for i := 0; i < 10000; i++ {
+		if pending == 0 || r.Intn(2) == 0 {
+			// Never push an event earlier than the last popped time;
+			// mirrors the simulator's no-time-travel invariant.
+			tm := last + int64(r.Intn(100))
+			if tm < 0 {
+				tm = 0
+			}
+			q.Push(Event{Time: tm})
+			pending++
+		} else {
+			e := q.Pop()
+			if e.Time < last {
+				t.Fatalf("time went backwards: %d after %d", e.Time, last)
+			}
+			last = e.Time
+			pending--
+		}
+	}
+}
+
+// Property: popping a fully loaded queue yields a non-decreasing sequence.
+func TestQuickSorted(t *testing.T) {
+	f := func(times []int64) bool {
+		q := New(len(times))
+		for _, tm := range times {
+			q.Push(Event{Time: tm})
+		}
+		var last int64 = -1 << 63
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.Time < last {
+				return false
+			}
+			last = e.Time
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: payload fields survive the round trip untouched.
+func TestQuickPayloadPreserved(t *testing.T) {
+	f := func(kind int32, rank int32, a, b, c int64) bool {
+		q := New(1)
+		q.Push(Event{Time: 1, Kind: kind, Rank: rank, A: a, B: b, C: c})
+		e := q.Pop()
+		return e.Kind == kind && e.Rank == rank && e.A == a && e.B == b && e.C == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop(b *testing.B) {
+	q := New(1024)
+	r := rand.New(rand.NewSource(1))
+	times := make([]int64, 1024)
+	for i := range times {
+		times[i] = int64(r.Intn(1 << 30))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(Event{Time: times[i%len(times)]})
+		if q.Len() > 512 {
+			q.Pop()
+		}
+	}
+}

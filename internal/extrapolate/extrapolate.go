@@ -1,0 +1,85 @@
+// Package extrapolate scales a p-rank trace to k*p ranks, mirroring
+// LogGOPSim's trace extrapolation.
+//
+// The paper collects traces at 125/128 ranks and simulates systems of up
+// to 16,384 nodes by extrapolation (§III-C): collective operations are
+// regenerated with *exact* communication patterns at the larger size,
+// while point-to-point communication is approximated by replicating the
+// traced pattern. This package follows the same contract:
+//
+//   - each of the k groups receives a copy of the original per-rank
+//     operation streams, with point-to-point peers remapped into the
+//     group (peer -> group*p + peer), preserving the traced
+//     communication topology within every group;
+//   - collective ops are left as logical collectives spanning all k*p
+//     ranks; their exact expansion happens later (collectives.Expand),
+//     so extrapolated collectives are exact by construction, as in
+//     LogGOPSim;
+//   - rooted collectives keep their original root rank (which lies in
+//     group 0), so all ranks agree on the root.
+package extrapolate
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Extrapolate returns a trace with factor*p ranks built from the p-rank
+// input. factor must be >= 1; factor == 1 returns a deep copy.
+func Extrapolate(t *trace.Trace, factor int) (*trace.Trace, error) {
+	p := t.NumRanks()
+	if p == 0 {
+		return nil, trace.ErrEmptyTrace
+	}
+	if factor < 1 {
+		return nil, fmt.Errorf("extrapolate: factor must be >= 1, got %d", factor)
+	}
+	if factor == 1 {
+		return t.Clone(), nil
+	}
+	out := &trace.Trace{
+		Name: fmt.Sprintf("%s-x%d", t.Name, factor),
+		Ops:  make([][]trace.Op, p*factor),
+	}
+	for g := 0; g < factor; g++ {
+		base := int32(g * p)
+		for r := 0; r < p; r++ {
+			src := t.Ops[r]
+			dst := make([]trace.Op, len(src))
+			for i, op := range src {
+				switch op.Kind {
+				case trace.OpSend, trace.OpIsend:
+					op.Peer += base
+				case trace.OpRecv, trace.OpIrecv:
+					if op.Peer != trace.AnySource {
+						op.Peer += base
+					}
+				}
+				// Collective roots are global ranks; keep them as
+				// traced so every group agrees on a single root.
+				dst[i] = op
+			}
+			out.Ops[int(base)+r] = dst
+		}
+	}
+	return out, nil
+}
+
+// Factor returns the extrapolation factor needed to reach at least
+// target ranks from a base of p, and the resulting rank count. It
+// mirrors the paper's power-of-two extrapolation (125 traced LULESH
+// ranks -> 16,000 simulated = 125 * 128).
+func Factor(p, target int) (factor, ranks int, err error) {
+	if p <= 0 {
+		return 0, 0, fmt.Errorf("extrapolate: base rank count must be positive, got %d", p)
+	}
+	if target <= 0 {
+		return 0, 0, fmt.Errorf("extrapolate: target must be positive, got %d", target)
+	}
+	factor = 1
+	for p*factor < target {
+		factor *= 2
+	}
+	return factor, p * factor, nil
+}

@@ -1,0 +1,737 @@
+// Package loggopsim is a discrete-event simulator for MPI traces under
+// the LogGOPS network model, in the spirit of LogGOPSim (Hoefler,
+// Schneider, Lumsdaine, HPDC'10) and the resilience-study tool chain of
+// Levy et al.
+//
+// The simulator replays per-rank operation traces (package trace) whose
+// collectives have already been expanded into point-to-point schedules
+// (package collectives). It reproduces every communication dependency, so
+// a CPU detour on one rank — such as correctable-error logging — delays
+// exactly the ranks that transitively depend on it.
+//
+// # Model
+//
+// Each rank owns a CPU timeline (clock: when its control flow can next
+// execute) and a NIC timeline (nicFree: when its NIC can inject the next
+// message; successive injections are separated by g + (s-1)G). Messages
+// of size <= S use the eager protocol: sender pays o + (s-1)O of CPU,
+// the payload lands at the destination L + (s-1)G after injection, and
+// the receiver pays o + (s-1)O when (and not before) a matching receive
+// is executed. Messages above S use rendezvous: the sender pays o and
+// emits a ready-to-send control message; when the receiver has both the
+// RTS and a matching posted receive, a clear-to-send returns to the
+// sender (L each way), after which the payload moves as in the eager
+// case. A blocking send therefore cannot complete before the receiver
+// matches — the synchronization that lets delays propagate upstream.
+//
+// Simplifications relative to a full MPI stack, chosen to keep the noise
+// semantics exact while staying O(events):
+//
+//   - nonblocking rendezvous sends charge the payload injection to the
+//     NIC only (no retroactive CPU charge at CTS time);
+//   - receive-side per-byte CPU (O) is charged when the receive or wait
+//     completes rather than being pipelined with arrival;
+//   - message matching is (source, tag) with wildcards in post order;
+//     same-peer non-overtaking across different sizes is not enforced.
+//
+// CPU detours are injected through a noise.Model: every CPU-busy
+// interval (calc, send overhead, receive overhead) is stretched by the
+// detours that arrive during it.
+package loggopsim
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/netmodel"
+	"repro/internal/noise"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// Net is the LogGOPS parameter set for inter-node messages.
+	Net netmodel.Params
+	// LocalNet, when non-nil, is the parameter set for messages between
+	// ranks on the same node (shared-memory transport). Nil means all
+	// messages use Net.
+	LocalNet *netmodel.Params
+	// RanksPerNode places this many consecutive ranks on each node
+	// (rank r lives on node r/RanksPerNode). The node's NIC is shared:
+	// injections from co-located ranks serialize through one gap
+	// timeline. Zero means 1. With more than one rank per node use a
+	// correlated noise model (noise.SharedCE): the per-node streaming
+	// model assumes one rank per node.
+	RanksPerNode int
+	// ExtraLatency, when non-nil, adds topology-dependent latency to
+	// every message between two ranks (control and payload alike):
+	// e.g. extra global-link hops between dragonfly groups. See
+	// netmodel.DragonflyExtra.
+	ExtraLatency func(src, dst int32) int64
+	// Noise injects CPU detours; nil means no noise. The model is
+	// called with the *rank* id; node-level models derive the node.
+	Noise noise.Model
+	// MaxTime aborts the simulation when the event clock passes this
+	// horizon (ns). Zero disables the horizon.
+	MaxTime int64
+	// Profile enables per-rank time decomposition (Result.Profile):
+	// requested CPU work, detour time added by the noise model, and
+	// blocked time spent waiting for messages. Costs one extra O(ranks)
+	// allocation and a few counters per operation.
+	Profile bool
+}
+
+// Profile decomposes where simulated time went. All values are sums
+// over ranks, in nanoseconds; the per-rank slices are populated only
+// when profiling was enabled.
+type Profile struct {
+	// Work is the CPU time the traces asked for (compute plus
+	// messaging overheads), before noise.
+	Work int64
+	// Detour is the extra CPU time injected by the noise model.
+	Detour int64
+	// Wait is the time ranks spent blocked on messages (receives,
+	// rendezvous handshakes, waits) beyond their own CPU activity.
+	Wait int64
+	// PerRankWork, PerRankDetour and PerRankWait break the totals down
+	// by rank.
+	PerRankWork, PerRankDetour, PerRankWait []int64
+}
+
+// Result summarizes a simulation.
+type Result struct {
+	// Makespan is the finish time of the slowest rank, ns.
+	Makespan int64
+	// FinishTimes holds each rank's completion time, ns.
+	FinishTimes []int64
+	// Messages is the number of point-to-point payloads delivered.
+	Messages uint64
+	// BytesMoved is the total payload bytes delivered.
+	BytesMoved int64
+	// Events is the number of simulator events processed.
+	Events uint64
+	// Deadlocked is set when ranks were blocked with no pending events.
+	Deadlocked bool
+	// TimedOut is set when the MaxTime horizon fired.
+	TimedOut bool
+	// Profile is the time decomposition; nil unless Config.Profile.
+	Profile *Profile
+}
+
+// Event kinds (eventq.Event.Kind).
+const (
+	evEagerArrive int32 = iota // payload arrival; A=src, B=size, C=tag
+	evRTSArrive                // rendezvous request arrival; A=msg index
+	evCTSArrive                // clear-to-send back at sender; A=msg index
+	evDataArrive               // rendezvous payload arrival; A=msg index
+)
+
+// blockKind describes why a rank is not advancing.
+type blockKind uint8
+
+const (
+	notBlocked      blockKind = iota
+	blockedRecv               // blocking receive posted, waiting for match/data
+	blockedSendCTS            // blocking rendezvous send, waiting for CTS
+	blockedSendDone           // blocking rendezvous send, payload injection done at wake
+	blockedWait               // waiting on one request
+	blockedWaitAll            // waiting on all outstanding requests
+	finished
+)
+
+// rdvMsg tracks a rendezvous message through its handshake.
+type rdvMsg struct {
+	src, dst  int32
+	tag       int32
+	size      int64
+	srcReq    int32 // sender's request id, or -1 for a blocking send
+	dstSlot   int32 // receiver's slot index once matched, or -1
+	rtsATime  int64 // RTS arrival time at receiver
+	dataATime int64 // payload arrival time at receiver
+}
+
+// slot is a posted receive or an outstanding send request on one rank.
+type slot struct {
+	req    int32 // request id; -1 for a blocking recv
+	peer   int32 // expected source (AnySource allowed) or send peer
+	tag    int32
+	size   int64
+	isRecv bool
+	done   bool  // data ready (recv) or buffer released (send)
+	ready  int64 // time the slot became done
+	posted int64 // logical time the receive was posted
+	active bool  // still occupied
+}
+
+// unexp is an arrived-but-unmatched message (eager payload or RTS).
+type unexp struct {
+	src  int32
+	tag  int32
+	msg  int32 // rendezvous message index, or -1 for eager
+	size int64
+	arr  int64
+}
+
+type rankState struct {
+	ops        []trace.Op
+	pc         int
+	clock      int64
+	block      blockKind
+	blockReq   int32 // for blockedWait
+	blockMsg   int32 // rendezvous msg index for blockedSendCTS / blockedRecv data wait
+	slots      []slot
+	unexpected []unexp
+}
+
+type sim struct {
+	cfg    Config
+	net    netmodel.Params
+	local  *netmodel.Params
+	rpn    int32   // ranks per node
+	nic    []int64 // per-node NIC-free time
+	extraL func(src, dst int32) int64
+	noise  noise.Model
+	ranks  []rankState
+	msgs   []rdvMsg
+	q      *eventq.Queue
+	res    Result
+	active int      // ranks not yet finished
+	prof   *Profile // nil unless profiling
+}
+
+// Simulate runs the trace to completion and returns the result. The
+// trace must be collective-free (see collectives.Expand); a collective
+// op is reported as an error. Deadlocks and horizon timeouts return a
+// non-nil error alongside the partial result.
+func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
+	n := tr.NumRanks()
+	if n == 0 {
+		return nil, trace.ErrEmptyTrace
+	}
+	if err := cfg.Net.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.LocalNet != nil {
+		if err := cfg.LocalNet.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	rpn := cfg.RanksPerNode
+	if rpn == 0 {
+		rpn = 1
+	}
+	if rpn < 0 {
+		return nil, fmt.Errorf("loggopsim: ranks per node must be positive, got %d", rpn)
+	}
+	s := &sim{
+		cfg:    cfg,
+		net:    cfg.Net,
+		local:  cfg.LocalNet,
+		rpn:    int32(rpn),
+		nic:    make([]int64, (n+rpn-1)/rpn),
+		noise:  cfg.Noise,
+		ranks:  make([]rankState, n),
+		q:      eventq.New(1024),
+		active: n,
+	}
+	if s.noise == nil {
+		s.noise = noise.None{}
+	}
+	s.extraL = cfg.ExtraLatency
+	if s.extraL == nil {
+		s.extraL = func(int32, int32) int64 { return 0 }
+	}
+	if cfg.Profile {
+		s.prof = &Profile{
+			PerRankWork:   make([]int64, n),
+			PerRankDetour: make([]int64, n),
+			PerRankWait:   make([]int64, n),
+		}
+		s.res.Profile = s.prof
+	}
+	for r := range s.ranks {
+		s.ranks[r].ops = tr.Ops[r]
+		s.ranks[r].blockMsg = -1
+	}
+	// Kick every rank at t=0.
+	for r := range s.ranks {
+		s.advance(int32(r))
+	}
+	for s.q.Len() > 0 {
+		e := s.q.Pop()
+		s.res.Events++
+		if cfg.MaxTime > 0 && e.Time > cfg.MaxTime {
+			s.res.TimedOut = true
+			s.finishResult()
+			return &s.res, fmt.Errorf("loggopsim: horizon %dns exceeded at t=%dns", cfg.MaxTime, e.Time)
+		}
+		switch e.Kind {
+		case evEagerArrive:
+			s.eagerArrive(e.Rank, int32(e.A), e.B, int32(e.C), e.Time)
+		case evRTSArrive:
+			s.rtsArrive(int32(e.A), e.Time)
+		case evCTSArrive:
+			s.ctsArrive(int32(e.A), e.Time)
+		case evDataArrive:
+			s.dataArrive(int32(e.A), e.Time)
+		default:
+			return nil, fmt.Errorf("loggopsim: unknown event kind %d", e.Kind)
+		}
+	}
+	s.finishResult()
+	if s.active > 0 {
+		s.res.Deadlocked = true
+		return &s.res, fmt.Errorf("loggopsim: deadlock, %d ranks blocked (first: rank %d at op %d)",
+			s.active, s.firstBlocked(), s.ranks[s.firstBlocked()].pc)
+	}
+	return &s.res, nil
+}
+
+func (s *sim) firstBlocked() int32 {
+	for r := range s.ranks {
+		if s.ranks[r].block != finished {
+			return int32(r)
+		}
+	}
+	return 0
+}
+
+func (s *sim) finishResult() {
+	s.res.FinishTimes = make([]int64, len(s.ranks))
+	for r := range s.ranks {
+		s.res.FinishTimes[r] = s.ranks[r].clock
+		if s.ranks[r].clock > s.res.Makespan {
+			s.res.Makespan = s.ranks[r].clock
+		}
+	}
+}
+
+// extend charges CPU work on a rank, stretched by noise detours. When
+// the start time is beyond the rank's current clock the difference is
+// blocked (waiting) time.
+func (s *sim) extend(rank int32, start, dur int64) int64 {
+	end := s.noise.Extend(rank, start, dur)
+	if s.prof != nil {
+		s.prof.Work += dur
+		s.prof.PerRankWork[rank] += dur
+		det := end - start - dur
+		s.prof.Detour += det
+		s.prof.PerRankDetour[rank] += det
+		if wait := start - s.ranks[rank].clock; wait > 0 {
+			s.prof.Wait += wait
+			s.prof.PerRankWait[rank] += wait
+		}
+	}
+	return end
+}
+
+// nodeOf maps a rank to its node.
+func (s *sim) nodeOf(rank int32) int32 { return rank / s.rpn }
+
+// pair returns the parameter set for a message between two ranks:
+// LocalNet for co-located ranks when configured, Net otherwise.
+func (s *sim) pair(a, b int32) *netmodel.Params {
+	if s.local != nil && s.nodeOf(a) == s.nodeOf(b) {
+		return s.local
+	}
+	return &s.net
+}
+
+// inject reserves the sender's node NIC for a message of size bytes
+// that is ready at time ready, and returns the injection time.
+func (s *sim) inject(rank int32, ready int64, p *netmodel.Params, size int64) int64 {
+	node := s.nodeOf(rank)
+	inj := ready
+	if s.nic[node] > inj {
+		inj = s.nic[node]
+	}
+	s.nic[node] = inj + p.NICGap(size)
+	return inj
+}
+
+// advance executes ops on rank r until it blocks or finishes.
+func (s *sim) advance(r int32) {
+	st := &s.ranks[r]
+	st.block = notBlocked
+	for st.pc < len(st.ops) {
+		op := &st.ops[st.pc]
+		switch op.Kind {
+		case trace.OpCalc:
+			st.clock = s.extend(r, st.clock, op.Dur)
+		case trace.OpSend:
+			if !s.startSend(r, op, -1) {
+				return // blocked waiting for CTS
+			}
+		case trace.OpIsend:
+			s.startIsend(r, op)
+		case trace.OpRecv:
+			if !s.startRecv(r, op) {
+				return
+			}
+		case trace.OpIrecv:
+			s.postIrecv(r, op)
+		case trace.OpWait:
+			if !s.doWait(r, op.Req) {
+				return
+			}
+		case trace.OpWaitAll:
+			if !s.doWaitAll(r) {
+				return
+			}
+		default:
+			// Collectives must have been expanded; treat as fatal by
+			// deadlocking this rank deliberately with a diagnostic op.
+			// (Callers run trace.Validate + collectives.Expand first;
+			// panicking here would hide the offending op index.)
+			st.block = blockedWait
+			st.blockReq = -999
+			return
+		}
+		st.pc++
+	}
+	st.block = finished
+	s.active--
+}
+
+// startSend executes a blocking send. Returns false when the rank blocks
+// (rendezvous waiting for CTS).
+func (s *sim) startSend(r int32, op *trace.Op, _ int32) bool {
+	st := &s.ranks[r]
+	p := s.pair(r, op.Peer)
+	if p.Eager(op.Size) {
+		cpuEnd := s.extend(r, st.clock, p.SendCPU(op.Size))
+		inj := s.inject(r, cpuEnd, p, op.Size)
+		arr := inj + p.Transit(op.Size) + s.extraL(r, op.Peer)
+		s.q.Push(eventq.Event{Time: arr, Kind: evEagerArrive, Rank: op.Peer, A: int64(r), B: op.Size, C: int64(op.Tag)})
+		st.clock = cpuEnd
+		return true
+	}
+	// Rendezvous: pay o, emit RTS, block until CTS.
+	cpuEnd := s.extend(r, st.clock, p.O)
+	st.clock = cpuEnd
+	idx := int32(len(s.msgs))
+	s.msgs = append(s.msgs, rdvMsg{src: r, dst: op.Peer, tag: op.Tag, size: op.Size, srcReq: -1, dstSlot: -1})
+	s.q.Push(eventq.Event{Time: cpuEnd + p.L + s.extraL(r, op.Peer), Kind: evRTSArrive, Rank: op.Peer, A: int64(idx)})
+	st.block = blockedSendCTS
+	st.blockMsg = idx
+	return false
+}
+
+// startIsend executes a nonblocking send; the rank never blocks here.
+func (s *sim) startIsend(r int32, op *trace.Op) {
+	st := &s.ranks[r]
+	p := s.pair(r, op.Peer)
+	if p.Eager(op.Size) {
+		cpuEnd := s.extend(r, st.clock, p.SendCPU(op.Size))
+		inj := s.inject(r, cpuEnd, p, op.Size)
+		arr := inj + p.Transit(op.Size) + s.extraL(r, op.Peer)
+		s.q.Push(eventq.Event{Time: arr, Kind: evEagerArrive, Rank: op.Peer, A: int64(r), B: op.Size, C: int64(op.Tag)})
+		st.clock = cpuEnd
+		s.addSlot(st, slot{req: op.Req, peer: op.Peer, tag: op.Tag, size: op.Size, done: true, ready: cpuEnd, active: true})
+		return
+	}
+	cpuEnd := s.extend(r, st.clock, p.O)
+	st.clock = cpuEnd
+	idx := int32(len(s.msgs))
+	s.msgs = append(s.msgs, rdvMsg{src: r, dst: op.Peer, tag: op.Tag, size: op.Size, srcReq: op.Req, dstSlot: -1})
+	s.q.Push(eventq.Event{Time: cpuEnd + p.L + s.extraL(r, op.Peer), Kind: evRTSArrive, Rank: op.Peer, A: int64(idx)})
+	s.addSlot(st, slot{req: op.Req, peer: op.Peer, tag: op.Tag, size: op.Size, active: true})
+}
+
+func (s *sim) addSlot(st *rankState, sl slot) int32 {
+	// Reuse an inactive slot if available to bound growth.
+	for i := range st.slots {
+		if !st.slots[i].active {
+			st.slots[i] = sl
+			return int32(i)
+		}
+	}
+	st.slots = append(st.slots, sl)
+	return int32(len(st.slots) - 1)
+}
+
+// matchUnexpected finds the earliest-arrived unexpected message matching
+// (peer, tag) and removes it.
+func (s *sim) matchUnexpected(st *rankState, peer, tag int32) (unexp, bool) {
+	for i := range st.unexpected {
+		u := st.unexpected[i]
+		if (peer == trace.AnySource || peer == u.src) && (tag == trace.AnyTag || tag == u.tag) {
+			st.unexpected = append(st.unexpected[:i], st.unexpected[i+1:]...)
+			return u, true
+		}
+	}
+	return unexp{}, false
+}
+
+// startRecv executes a blocking receive. Returns false when blocked.
+func (s *sim) startRecv(r int32, op *trace.Op) bool {
+	st := &s.ranks[r]
+	if u, ok := s.matchUnexpected(st, op.Peer, op.Tag); ok {
+		if u.msg < 0 {
+			// Eager payload already here: charge receive CPU and go.
+			st.clock = s.extend(r, max64(st.clock, u.arr), s.pair(u.src, r).RecvCPU(u.size))
+			s.res.Messages++
+			s.res.BytesMoved += u.size
+			return true
+		}
+		// Rendezvous RTS already here: answer CTS and wait for payload.
+		m := &s.msgs[u.msg]
+		cts := max64(st.clock, m.rtsATime) + s.pair(m.src, r).L + s.extraL(r, m.src)
+		s.q.Push(eventq.Event{Time: cts, Kind: evCTSArrive, Rank: m.src, A: int64(u.msg)})
+		st.block = blockedRecv
+		st.blockMsg = u.msg
+		m.dstSlot = -2 // blocking receive, no slot
+		return false
+	}
+	// Nothing here yet: post and block.
+	idx := s.addSlot(st, slot{req: -1, peer: op.Peer, tag: op.Tag, size: op.Size, isRecv: true, posted: st.clock, active: true})
+	st.block = blockedRecv
+	st.blockMsg = -1
+	st.blockReq = idx // remember which slot the blocking recv owns
+	return false
+}
+
+// postIrecv posts a nonblocking receive and tries to match immediately.
+func (s *sim) postIrecv(r int32, op *trace.Op) {
+	st := &s.ranks[r]
+	if u, ok := s.matchUnexpected(st, op.Peer, op.Tag); ok {
+		if u.msg < 0 {
+			s.addSlot(st, slot{req: op.Req, peer: u.src, tag: u.tag, size: u.size, isRecv: true, done: true, ready: u.arr, active: true})
+			s.res.Messages++
+			s.res.BytesMoved += u.size
+			return
+		}
+		m := &s.msgs[u.msg]
+		idx := s.addSlot(st, slot{req: op.Req, peer: u.src, tag: u.tag, size: m.size, isRecv: true, posted: st.clock, active: true})
+		m.dstSlot = idx
+		cts := max64(st.clock, m.rtsATime) + s.pair(m.src, r).L + s.extraL(r, m.src)
+		s.q.Push(eventq.Event{Time: cts, Kind: evCTSArrive, Rank: m.src, A: int64(u.msg)})
+		return
+	}
+	s.addSlot(st, slot{req: op.Req, peer: op.Peer, tag: op.Tag, size: op.Size, isRecv: true, posted: st.clock, active: true})
+}
+
+// findSlotByReq returns the index of the active slot with the request id.
+func findSlotByReq(st *rankState, req int32) int32 {
+	for i := range st.slots {
+		if st.slots[i].active && st.slots[i].req == req {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+// doWait completes a single request. Returns false when blocked.
+func (s *sim) doWait(r int32, req int32) bool {
+	st := &s.ranks[r]
+	idx := findSlotByReq(st, req)
+	if idx < 0 {
+		// Wait on an unknown request: trace validation prevents this;
+		// treat as satisfied to avoid wedging the run.
+		return true
+	}
+	sl := &st.slots[idx]
+	if !sl.done {
+		st.block = blockedWait
+		st.blockReq = req
+		return false
+	}
+	if sl.isRecv {
+		st.clock = s.extend(r, max64(st.clock, sl.ready), s.recvParams(sl, r).RecvCPU(sl.size))
+	} else {
+		s.waitUntil(r, sl.ready)
+	}
+	sl.active = false
+	return true
+}
+
+// waitUntil advances a rank's clock to a completion time, accounting
+// the gap as blocked time.
+func (s *sim) waitUntil(r int32, till int64) {
+	st := &s.ranks[r]
+	if till <= st.clock {
+		return
+	}
+	if s.prof != nil {
+		s.prof.Wait += till - st.clock
+		s.prof.PerRankWait[r] += till - st.clock
+	}
+	st.clock = till
+}
+
+// recvParams picks the parameter set for a completed receive slot; a
+// wildcard-source slot that matched a local sender keeps Net (the
+// conservative choice, and wildcards are rare in generated traces).
+func (s *sim) recvParams(sl *slot, r int32) *netmodel.Params {
+	if sl.peer == trace.AnySource {
+		return &s.net
+	}
+	return s.pair(sl.peer, r)
+}
+
+// doWaitAll completes all outstanding requests. Returns false when any
+// is still pending.
+func (s *sim) doWaitAll(r int32) bool {
+	st := &s.ranks[r]
+	for i := range st.slots {
+		if st.slots[i].active && !st.slots[i].done {
+			st.block = blockedWaitAll
+			return false
+		}
+	}
+	for i := range st.slots {
+		sl := &st.slots[i]
+		if !sl.active {
+			continue
+		}
+		if sl.isRecv {
+			st.clock = s.extend(r, max64(st.clock, sl.ready), s.recvParams(sl, r).RecvCPU(sl.size))
+		} else {
+			s.waitUntil(r, sl.ready)
+		}
+		sl.active = false
+	}
+	return true
+}
+
+// eagerArrive delivers an eager payload at dst.
+func (s *sim) eagerArrive(dst int32, src int32, size int64, tag int32, arr int64) {
+	st := &s.ranks[dst]
+	// A blocked receive waiting for a match?
+	if st.block == blockedRecv && st.blockMsg == -1 {
+		slIdx := st.blockReq
+		sl := &st.slots[slIdx]
+		if (sl.peer == trace.AnySource || sl.peer == src) && (sl.tag == trace.AnyTag || sl.tag == tag) {
+			sl.active = false
+			st.clock = s.extend(dst, max64(st.clock, arr), s.pair(src, dst).RecvCPU(size))
+			s.res.Messages++
+			s.res.BytesMoved += size
+			st.pc++ // past the blocking recv
+			s.advance(dst)
+			return
+		}
+	}
+	// A posted irecv?
+	for i := range st.slots {
+		sl := &st.slots[i]
+		if sl.active && sl.isRecv && !sl.done && sl.req >= 0 &&
+			(sl.peer == trace.AnySource || sl.peer == src) &&
+			(sl.tag == trace.AnyTag || sl.tag == tag) {
+			sl.done = true
+			sl.ready = max64(arr, sl.posted)
+			sl.size = size
+			s.res.Messages++
+			s.res.BytesMoved += size
+			s.maybeUnblockWait(dst, sl.req)
+			return
+		}
+	}
+	st.unexpected = append(st.unexpected, unexp{src: src, tag: tag, msg: -1, size: size, arr: arr})
+}
+
+// rtsArrive processes a rendezvous request at the destination.
+func (s *sim) rtsArrive(msgIdx int32, arr int64) {
+	m := &s.msgs[msgIdx]
+	m.rtsATime = arr
+	st := &s.ranks[m.dst]
+	// Blocking receive waiting?
+	if st.block == blockedRecv && st.blockMsg == -1 {
+		slIdx := st.blockReq
+		sl := &st.slots[slIdx]
+		if (sl.peer == trace.AnySource || sl.peer == m.src) && (sl.tag == trace.AnyTag || sl.tag == m.tag) {
+			sl.active = false
+			m.dstSlot = -2
+			st.blockMsg = msgIdx
+			s.q.Push(eventq.Event{Time: max64(sl.posted, arr) + s.pair(m.src, m.dst).L + s.extraL(m.dst, m.src), Kind: evCTSArrive, Rank: m.src, A: int64(msgIdx)})
+			return
+		}
+	}
+	// Posted irecv?
+	for i := range st.slots {
+		sl := &st.slots[i]
+		if sl.active && sl.isRecv && !sl.done && sl.req >= 0 &&
+			(sl.peer == trace.AnySource || sl.peer == m.src) &&
+			(sl.tag == trace.AnyTag || sl.tag == m.tag) {
+			m.dstSlot = int32(i)
+			sl.size = m.size
+			s.q.Push(eventq.Event{Time: max64(sl.posted, arr) + s.pair(m.src, m.dst).L + s.extraL(m.dst, m.src), Kind: evCTSArrive, Rank: m.src, A: int64(msgIdx)})
+			return
+		}
+	}
+	st.unexpected = append(st.unexpected, unexp{src: m.src, tag: m.tag, msg: msgIdx, size: m.size, arr: arr})
+}
+
+// ctsArrive resumes the sender of a rendezvous message.
+func (s *sim) ctsArrive(msgIdx int32, arr int64) {
+	m := &s.msgs[msgIdx]
+	st := &s.ranks[m.src]
+	p := s.pair(m.src, m.dst)
+	if m.srcReq < 0 {
+		// Blocking send: charge payload CPU now (sender is blocked, CPU
+		// idle since the RTS was issued).
+		cpuEnd := s.extend(m.src, max64(st.clock, arr), p.SendCPU(m.size))
+		inj := s.inject(m.src, cpuEnd, p, m.size)
+		s.q.Push(eventq.Event{Time: inj + p.Transit(m.size) + s.extraL(m.src, m.dst), Kind: evDataArrive, Rank: m.dst, A: int64(msgIdx)})
+		st.clock = cpuEnd
+		st.pc++ // past the blocking send
+		s.advance(m.src)
+		return
+	}
+	// Nonblocking send: NIC-only injection (see package comment).
+	inj := s.inject(m.src, arr, p, m.size)
+	s.q.Push(eventq.Event{Time: inj + p.Transit(m.size) + s.extraL(m.src, m.dst), Kind: evDataArrive, Rank: m.dst, A: int64(msgIdx)})
+	idx := findSlotByReq(st, m.srcReq)
+	if idx >= 0 {
+		st.slots[idx].done = true
+		st.slots[idx].ready = inj
+		s.maybeUnblockWait(m.src, m.srcReq)
+	}
+}
+
+// dataArrive delivers a rendezvous payload.
+func (s *sim) dataArrive(msgIdx int32, arr int64) {
+	m := &s.msgs[msgIdx]
+	m.dataATime = arr
+	st := &s.ranks[m.dst]
+	s.res.Messages++
+	s.res.BytesMoved += m.size
+	if m.dstSlot == -2 {
+		// Blocking receive: complete it.
+		st.clock = s.extend(m.dst, max64(st.clock, arr), s.pair(m.src, m.dst).RecvCPU(m.size))
+		st.pc++ // past the blocking recv
+		s.advance(m.dst)
+		return
+	}
+	sl := &st.slots[m.dstSlot]
+	sl.done = true
+	sl.ready = arr
+	s.maybeUnblockWait(m.dst, sl.req)
+}
+
+// maybeUnblockWait resumes a rank blocked in Wait/WaitAll if the newly
+// completed request satisfies it.
+func (s *sim) maybeUnblockWait(r int32, req int32) {
+	st := &s.ranks[r]
+	switch st.block {
+	case blockedWait:
+		if st.blockReq != req {
+			return
+		}
+		if s.doWait(r, req) {
+			st.pc++
+			s.advance(r)
+		}
+	case blockedWaitAll:
+		if s.doWaitAll(r) {
+			st.pc++
+			s.advance(r)
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

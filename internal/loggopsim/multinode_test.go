@@ -1,0 +1,212 @@
+package loggopsim
+
+import (
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/noise"
+	"repro/internal/trace"
+)
+
+// fastLocal returns a shared-memory-like parameter set: 10x lower
+// latency and overheads than the inter-node network.
+func fastLocal() *netmodel.Params {
+	p := netmodel.CrayXC40()
+	p.L /= 10
+	p.O /= 10
+	p.Gap /= 10
+	p.GPerByte /= 10
+	p.OPerByte /= 10
+	return &p
+}
+
+func TestRanksPerNodeDefaultsToOne(t *testing.T) {
+	tr := &trace.Trace{Ops: [][]trace.Op{
+		{trace.Send(1, 64, 0)},
+		{trace.Recv(0, 64, 0)},
+	}}
+	a := mustSim(t, tr, Config{Net: netmodel.CrayXC40()})
+	b := mustSim(t, tr, Config{Net: netmodel.CrayXC40(), RanksPerNode: 1})
+	if a.Makespan != b.Makespan {
+		t.Fatalf("explicit rpn=1 changed result: %d vs %d", a.Makespan, b.Makespan)
+	}
+}
+
+func TestLocalNetSpeedsUpIntraNodeMessages(t *testing.T) {
+	// Ranks 0,1 share a node (rpn=2): their exchange should be ~10x
+	// faster with LocalNet than without.
+	tr := &trace.Trace{Ops: [][]trace.Op{
+		{trace.Send(1, 1024, 0)},
+		{trace.Recv(0, 1024, 0)},
+	}}
+	remote := mustSim(t, tr, Config{Net: netmodel.CrayXC40(), RanksPerNode: 2})
+	local := mustSim(t, tr, Config{Net: netmodel.CrayXC40(), RanksPerNode: 2, LocalNet: fastLocal()})
+	if local.Makespan >= remote.Makespan {
+		t.Fatalf("local transport not faster: %d vs %d", local.Makespan, remote.Makespan)
+	}
+	want := fastLocal().EagerLatency(1024)
+	if local.FinishTimes[1] != want {
+		t.Fatalf("local latency %d, want closed-form %d", local.FinishTimes[1], want)
+	}
+}
+
+func TestLocalNetOnlyAppliesWithinNode(t *testing.T) {
+	// Ranks 0,1 on node 0; ranks 2,3 on node 1. The 0->2 message must
+	// use the remote parameters even with LocalNet configured.
+	net := netmodel.CrayXC40()
+	tr := &trace.Trace{Ops: [][]trace.Op{
+		{trace.Send(2, 512, 0)},
+		{},
+		{trace.Recv(0, 512, 0)},
+		{},
+	}}
+	res := mustSim(t, tr, Config{Net: net, RanksPerNode: 2, LocalNet: fastLocal()})
+	if res.FinishTimes[2] != net.EagerLatency(512) {
+		t.Fatalf("inter-node latency %d, want %d", res.FinishTimes[2], net.EagerLatency(512))
+	}
+}
+
+func TestSharedNICSerializesCoLocatedSenders(t *testing.T) {
+	// Two ranks on one node send simultaneously to distinct remote
+	// ranks: the shared NIC forces the second injection to wait a gap.
+	net := netmodel.CrayXC40()
+	size := int64(4096)
+	tr := &trace.Trace{Ops: [][]trace.Op{
+		{trace.Send(2, size, 0)},
+		{trace.Send(3, size, 0)},
+		{trace.Recv(0, size, 0)},
+		{trace.Recv(1, size, 0)},
+	}}
+	shared := mustSim(t, tr, Config{Net: net, RanksPerNode: 2})
+	separate := mustSim(t, tr, Config{Net: net, RanksPerNode: 1})
+	// With separate NICs both receivers finish at the same one-way
+	// latency; with a shared NIC one of them is delayed by the gap.
+	if separate.FinishTimes[2] != separate.FinishTimes[3] {
+		t.Fatalf("separate NICs skewed receivers: %v", separate.FinishTimes)
+	}
+	slower := max64(shared.FinishTimes[2], shared.FinishTimes[3])
+	faster := min64(shared.FinishTimes[2], shared.FinishTimes[3])
+	if slower-faster != net.NICGap(size) {
+		t.Fatalf("shared NIC skew = %d, want one gap %d", slower-faster, net.NICGap(size))
+	}
+}
+
+func TestRendezvousUsesSharedNIC(t *testing.T) {
+	// Large payloads through the shared NIC must also serialize.
+	net := netmodel.CrayXC40()
+	size := net.S * 4
+	tr := &trace.Trace{Ops: [][]trace.Op{
+		{trace.Send(2, size, 0)},
+		{trace.Send(3, size, 0)},
+		{trace.Recv(0, size, 0)},
+		{trace.Recv(1, size, 0)},
+	}}
+	shared := mustSim(t, tr, Config{Net: net, RanksPerNode: 2})
+	if shared.FinishTimes[2] == shared.FinishTimes[3] {
+		t.Fatal("rendezvous payloads did not serialize through the shared NIC")
+	}
+}
+
+func TestSMMDetourHaltsWholeNode(t *testing.T) {
+	// Two independent rank pairs; ranks 0,1 share node 0. CE noise
+	// targeted at node 0 with a SharedCE model must delay rank 1's work
+	// even though only "rank 0's" errors occur — SMM halts the node.
+	tr := &trace.Trace{Ops: [][]trace.Op{
+		{trace.Calc(100 * ms)},
+		{trace.Calc(100 * ms)},
+		{trace.Calc(100 * ms)},
+		{trace.Calc(100 * ms)},
+	}}
+	nm, err := noise.NewSharedCE(2, 2, noise.Config{
+		Seed: 3, MTBCE: 10 * ms, Duration: noise.Fixed(7 * ms), Target: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := mustSim(t, tr, Config{Net: netmodel.CrayXC40(), RanksPerNode: 2, Noise: nm})
+	if res.FinishTimes[0] != res.FinishTimes[1] {
+		t.Fatalf("co-located ranks saw different detours: %v", res.FinishTimes[:2])
+	}
+	if res.FinishTimes[0] == 100*ms {
+		t.Fatal("targeted node saw no detours")
+	}
+	if res.FinishTimes[2] != 100*ms || res.FinishTimes[3] != 100*ms {
+		t.Fatalf("untargeted node delayed: %v", res.FinishTimes[2:])
+	}
+}
+
+func TestMultiRankCollectiveRuns(t *testing.T) {
+	// A barrier across 4 nodes x 4 ranks with local transport: checks
+	// the full pipeline at rpn > 1.
+	res := simCollective(t, 16, trace.Barrier(), Config{
+		Net: netmodel.CrayXC40(), RanksPerNode: 4, LocalNet: fastLocal(),
+	})
+	if res.Makespan <= 0 {
+		t.Fatal("zero makespan")
+	}
+	// The same barrier with all-remote parameters must be slower or
+	// equal (local links can only help).
+	remote := simCollective(t, 16, trace.Barrier(), Config{Net: netmodel.CrayXC40(), RanksPerNode: 4})
+	if res.Makespan > remote.Makespan {
+		t.Fatalf("local transport slowed the barrier: %d vs %d", res.Makespan, remote.Makespan)
+	}
+}
+
+func TestNegativeRanksPerNodeRejected(t *testing.T) {
+	tr := &trace.Trace{Ops: [][]trace.Op{{trace.Calc(1)}}}
+	if _, err := Simulate(tr, Config{Net: netmodel.CrayXC40(), RanksPerNode: -2}); err == nil {
+		t.Fatal("negative ranks per node accepted")
+	}
+}
+
+func TestBadLocalNetRejected(t *testing.T) {
+	tr := &trace.Trace{Ops: [][]trace.Op{{trace.Calc(1)}}}
+	bad := netmodel.Params{L: -5}
+	if _, err := Simulate(tr, Config{Net: netmodel.CrayXC40(), LocalNet: &bad}); err == nil {
+		t.Fatal("invalid LocalNet accepted")
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestExtraLatencyAppliesAcrossGroups(t *testing.T) {
+	net := netmodel.CrayXC40()
+	extra := netmodel.DragonflyExtra(2, 5*ms)
+	// Rank 0 -> 1 (same group): base latency. Rank 0 -> 2 (cross
+	// group): +5 ms.
+	tr := &trace.Trace{Ops: [][]trace.Op{
+		{trace.Send(1, 64, 0), trace.Send(2, 64, 1)},
+		{trace.Recv(0, 64, 0)},
+		{trace.Recv(0, 64, 1)},
+	}}
+	res := mustSim(t, tr, Config{Net: net, ExtraLatency: extra})
+	if res.FinishTimes[1] != net.EagerLatency(64) {
+		t.Fatalf("in-group latency %d, want %d", res.FinishTimes[1], net.EagerLatency(64))
+	}
+	// Second send: CPU 2x SendCPU, NIC gap may dominate; lower bound:
+	// arrival includes the extra hop.
+	if res.FinishTimes[2] < net.EagerLatency(64)+5*ms {
+		t.Fatalf("cross-group latency %d missing extra hop", res.FinishTimes[2])
+	}
+}
+
+func TestExtraLatencyAppliesToRendezvous(t *testing.T) {
+	net := netmodel.CrayXC40()
+	big := net.S * 2
+	extra := netmodel.DragonflyExtra(1, 2*ms) // every pair crosses groups
+	tr := &trace.Trace{Ops: [][]trace.Op{
+		{trace.Send(1, big, 0)},
+		{trace.Recv(0, big, 0)},
+	}}
+	plain := mustSim(t, tr, Config{Net: net})
+	slow := mustSim(t, tr, Config{Net: net, ExtraLatency: extra})
+	// RTS + CTS + payload each pay the hop: at least 6 ms slower.
+	if slow.Makespan < plain.Makespan+6*ms {
+		t.Fatalf("rendezvous handshake skipped extra hops: %d vs %d", slow.Makespan, plain.Makespan)
+	}
+}

@@ -1,0 +1,103 @@
+package netmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// PingPongSample is one measured (or simulated) round-trip.
+type PingPongSample struct {
+	// Size is the message size in bytes.
+	Size int64
+	// RTT is the round-trip time in nanoseconds.
+	RTT int64
+}
+
+// FitResult is a least-squares fit of the eager ping-pong model
+//
+//	RTT(s) = Intercept + Slope * (s - 1)
+//
+// where, under LogGOPS, Intercept = 4o + 2L and Slope = 4O + 2G.
+// Ping-pong alone cannot separate o from L or O from G (they only ever
+// appear in these sums); Params applies a documented split.
+type FitResult struct {
+	// Intercept is the zero-byte round trip, ns (= 4o + 2L).
+	Intercept float64
+	// Slope is the per-byte cost, ns/byte (= 4O + 2G).
+	Slope float64
+	// R2 is the coefficient of determination of the fit.
+	R2 float64
+}
+
+// FitPingPong performs an ordinary least-squares fit over the samples.
+// It needs at least two distinct sizes.
+func FitPingPong(samples []PingPongSample) (FitResult, error) {
+	if len(samples) < 2 {
+		return FitResult{}, fmt.Errorf("netmodel: need at least 2 samples, got %d", len(samples))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(samples))
+	for _, s := range samples {
+		x := float64(s.Size - 1)
+		y := float64(s.RTT)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return FitResult{}, fmt.Errorf("netmodel: all samples share one size; cannot fit a slope")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+	// R^2 against the mean model.
+	meanY := sy / n
+	var ssTot, ssRes float64
+	for _, s := range samples {
+		x := float64(s.Size - 1)
+		y := float64(s.RTT)
+		pred := intercept + slope*x
+		ssTot += (y - meanY) * (y - meanY)
+		ssRes += (y - pred) * (y - pred)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return FitResult{Intercept: intercept, Slope: slope, R2: r2}, nil
+}
+
+// Params converts the fit into a LogGOPS parameter set using a
+// documented split: the per-message budget is divided as o = overheadShare
+// * Intercept/4 per side... concretely, with share w in (0,1):
+//
+//	o = w * Intercept / 4        (CPU overhead per message)
+//	L = (1-w) * Intercept / 2    (wire latency)
+//	O = w * Slope / 4            (CPU cost per byte)
+//	G = (1-w) * Slope / 2        (NIC occupancy per byte)
+//
+// which reconstructs Intercept = 4o + 2L and Slope = 4O + 2G exactly.
+// The gap g and eager threshold S are not observable from ping-pong;
+// callers provide them (sensible defaults: g = o + L/4, S = 8 KiB).
+func (f FitResult) Params(overheadShare float64) (Params, error) {
+	if overheadShare <= 0 || overheadShare >= 1 {
+		return Params{}, fmt.Errorf("netmodel: overhead share must be in (0,1), got %v", overheadShare)
+	}
+	if f.Intercept < 0 || f.Slope < 0 {
+		return Params{}, fmt.Errorf("netmodel: fit has negative components: %+v", f)
+	}
+	o := overheadShare * f.Intercept / 4
+	l := (1 - overheadShare) * f.Intercept / 2
+	obyte := overheadShare * f.Slope / 4
+	gbyte := (1 - overheadShare) * f.Slope / 2
+	p := Params{
+		L:        int64(math.Round(l)),
+		O:        int64(math.Round(o)),
+		Gap:      int64(math.Round(o + l/4)),
+		GPerByte: gbyte,
+		OPerByte: obyte,
+		S:        8192,
+	}
+	return p, p.Validate()
+}

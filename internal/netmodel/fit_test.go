@@ -1,0 +1,133 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitExactModel(t *testing.T) {
+	// Samples generated from the closed-form ping-pong of a known
+	// parameter set must recover Intercept = 4o+2L, Slope = 4O+2G.
+	p := CrayXC40()
+	var samples []PingPongSample
+	for _, size := range []int64{1, 64, 512, 1024, 4096, 8192} {
+		samples = append(samples, PingPongSample{Size: size, RTT: p.PingPong(size)})
+	}
+	fit, err := FitPingPong(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIntercept := float64(4*p.O + 2*p.L)
+	wantSlope := 4*p.OPerByte + 2*p.GPerByte
+	// Closed-form RTTs truncate per-byte costs to whole nanoseconds, so
+	// the recovered intercept can be off by a few ns.
+	if math.Abs(fit.Intercept-wantIntercept) > 5 {
+		t.Fatalf("intercept %v, want %v", fit.Intercept, wantIntercept)
+	}
+	if math.Abs(fit.Slope-wantSlope)/wantSlope > 0.01 {
+		t.Fatalf("slope %v, want %v", fit.Slope, wantSlope)
+	}
+	if fit.R2 < 0.999 {
+		t.Fatalf("R2 = %v on exact data", fit.R2)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitPingPong(nil); err == nil {
+		t.Fatal("empty samples accepted")
+	}
+	if _, err := FitPingPong([]PingPongSample{{Size: 8, RTT: 1}}); err == nil {
+		t.Fatal("single sample accepted")
+	}
+	same := []PingPongSample{{Size: 8, RTT: 1}, {Size: 8, RTT: 2}}
+	if _, err := FitPingPong(same); err == nil {
+		t.Fatal("single-size samples accepted")
+	}
+}
+
+func TestFitParamsRoundTrip(t *testing.T) {
+	fit := FitResult{Intercept: 7300, Slope: 0.68}
+	p, err := fit.Params(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstruct the observables.
+	gotIntercept := float64(4*p.O + 2*p.L)
+	gotSlope := 4*p.OPerByte + 2*p.GPerByte
+	if math.Abs(gotIntercept-fit.Intercept) > 4 { // rounding of o and L
+		t.Fatalf("reconstructed intercept %v, want %v", gotIntercept, fit.Intercept)
+	}
+	if math.Abs(gotSlope-fit.Slope) > 1e-9 {
+		t.Fatalf("reconstructed slope %v, want %v", gotSlope, fit.Slope)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitParamsBadShare(t *testing.T) {
+	fit := FitResult{Intercept: 1000, Slope: 0.5}
+	for _, w := range []float64{0, 1, -0.5, 2} {
+		if _, err := fit.Params(w); err == nil {
+			t.Fatalf("share %v accepted", w)
+		}
+	}
+}
+
+func TestFitParamsNegativeFit(t *testing.T) {
+	if _, err := (FitResult{Intercept: -5, Slope: 0.1}).Params(0.5); err == nil {
+		t.Fatal("negative intercept accepted")
+	}
+}
+
+func TestFitNoisyData(t *testing.T) {
+	// Add +/-2% deterministic wobble; the fit should still land close.
+	p := InfiniBandEDR()
+	var samples []PingPongSample
+	for i, size := range []int64{1, 128, 1024, 2048, 4096, 8192, 16384} {
+		rtt := p.PingPong(size)
+		wobble := 1 + 0.02*float64(i%3-1)
+		samples = append(samples, PingPongSample{Size: size, RTT: int64(float64(rtt) * wobble)})
+	}
+	fit, err := FitPingPong(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSlope := 4*p.OPerByte + 2*p.GPerByte
+	if math.Abs(fit.Slope-wantSlope)/wantSlope > 0.1 {
+		t.Fatalf("noisy slope %v, want ~%v", fit.Slope, wantSlope)
+	}
+	if fit.R2 < 0.95 {
+		t.Fatalf("R2 = %v on mildly noisy data", fit.R2)
+	}
+}
+
+// Property: fitting data generated from any valid parameter set
+// recovers the observables.
+func TestQuickFitRecovers(t *testing.T) {
+	f := func(oRaw, lRaw uint16, obRaw, gbRaw uint8) bool {
+		p := Params{
+			L:        int64(lRaw) + 100,
+			O:        int64(oRaw) + 100,
+			Gap:      1000,
+			OPerByte: float64(obRaw)/100 + 0.01,
+			GPerByte: float64(gbRaw)/100 + 0.01,
+			S:        1 << 30, // keep everything eager
+		}
+		var samples []PingPongSample
+		for _, size := range []int64{1, 256, 4096, 65536} {
+			samples = append(samples, PingPongSample{Size: size, RTT: p.PingPong(size)})
+		}
+		fit, err := FitPingPong(samples)
+		if err != nil {
+			return false
+		}
+		wantI := float64(4*p.O + 2*p.L)
+		wantS := 4*p.OPerByte + 2*p.GPerByte
+		return math.Abs(fit.Intercept-wantI) < 5 && math.Abs(fit.Slope-wantS)/wantS < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,276 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestPoissonMeanGap(t *testing.T) {
+	p := Poisson(5 * ms)
+	if p.MeanGap() != float64(5*ms) {
+		t.Fatalf("MeanGap = %v", p.MeanGap())
+	}
+	src := rng.New(1)
+	var state uint64
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(p.NextGap(src, &state))
+	}
+	got := sum / n
+	if math.Abs(got-float64(5*ms))/float64(5*ms) > 0.02 {
+		t.Fatalf("empirical mean gap %v, want ~%v", got, float64(5*ms))
+	}
+	if state != 0 {
+		t.Fatal("poisson touched the state word")
+	}
+}
+
+func TestBurstyValidate(t *testing.T) {
+	good := Bursty{QuietGap: 10 * s, BurstGap: 10 * ms, BurstLen: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid bursty rejected: %v", err)
+	}
+	bad := []Bursty{
+		{QuietGap: 0, BurstGap: 1, BurstLen: 2},
+		{QuietGap: 1, BurstGap: 0, BurstLen: 2},
+		{QuietGap: 1, BurstGap: 1, BurstLen: 0.5},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("bad bursty %d accepted", i)
+		}
+	}
+}
+
+func TestBurstyMeanGapFormula(t *testing.T) {
+	b := Bursty{QuietGap: 100 * ms, BurstGap: 1 * ms, BurstLen: 10}
+	// (100ms + 9*1ms)/10 = 10.9ms
+	want := (float64(100*ms) + 9*float64(ms)) / 10
+	if math.Abs(b.MeanGap()-want) > 1e-6 {
+		t.Fatalf("MeanGap = %v, want %v", b.MeanGap(), want)
+	}
+}
+
+func TestBurstyEmpiricalMeanGap(t *testing.T) {
+	b := Bursty{QuietGap: 50 * ms, BurstGap: 500 * us, BurstLen: 8}
+	src := rng.New(7)
+	var state uint64
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += float64(b.NextGap(src, &state))
+	}
+	got := sum / n
+	want := b.MeanGap()
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("empirical mean gap %v, want ~%v", got, want)
+	}
+}
+
+func TestBurstyBurstStructure(t *testing.T) {
+	// Gaps within a burst must be drawn from the short distribution:
+	// classify gaps as quiet (> threshold) or burst, and verify mean
+	// burst length.
+	b := Bursty{QuietGap: 10 * s, BurstGap: 1 * ms, BurstLen: 6}
+	src := rng.New(3)
+	var state uint64
+	threshold := int64(500 * ms) // far between the two regimes
+	bursts := 0
+	events := 0
+	for i := 0; i < 100000; i++ {
+		g := b.NextGap(src, &state)
+		if g > threshold {
+			bursts++
+		}
+		events++
+	}
+	meanLen := float64(events) / float64(bursts)
+	if math.Abs(meanLen-6)/6 > 0.1 {
+		t.Fatalf("mean burst length %v, want ~6", meanLen)
+	}
+}
+
+func TestBurstyDegeneratesToSingleEvents(t *testing.T) {
+	// BurstLen=1: every gap is a quiet gap; equivalent to Poisson.
+	b := Bursty{QuietGap: 7 * ms, BurstGap: 1, BurstLen: 1}
+	src := rng.New(5)
+	var state uint64
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(b.NextGap(src, &state))
+		if state != 0 {
+			t.Fatal("burst state non-zero with BurstLen=1")
+		}
+	}
+	got := sum / n
+	if math.Abs(got-float64(7*ms))/float64(7*ms) > 0.02 {
+		t.Fatalf("degenerate bursty mean %v, want ~%v", got, float64(7*ms))
+	}
+}
+
+func TestCEWithBurstyArrivals(t *testing.T) {
+	m, err := NewCE(1, Config{
+		Seed:     1,
+		Arrivals: Bursty{QuietGap: 100 * ms, BurstGap: 200 * us, BurstLen: 10},
+		Duration: Fixed(10 * us),
+		Target:   AllNodes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := m.Extend(0, 0, 100*s)
+	if end <= 100*s {
+		t.Fatal("bursty arrivals produced no detours over 100s")
+	}
+	// Effective rate: MeanGap ~ (100ms+9*0.2ms)/10 = 10.18ms; over the
+	// busy window events ~= end/10.18ms. Burst clustering makes the
+	// count noisier than a Poisson process, hence the loose tolerance.
+	got := float64(m.Events())
+	want := float64(end) / 10.18e6
+	if math.Abs(got-want)/want > 0.1 {
+		t.Fatalf("bursty event count %v, want ~%v", got, want)
+	}
+}
+
+func TestConfigArrivalsOverridesMTBCE(t *testing.T) {
+	// With Arrivals set, MTBCE is ignored: load factor must come from
+	// the arrival process.
+	c := Config{
+		MTBCE:    1, // absurd, would be load 1e6
+		Arrivals: Poisson(1 * s),
+		Duration: Fixed(1 * ms),
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("config with arrivals rejected: %v", err)
+	}
+	if got := c.LoadFactor(); math.Abs(got-0.001) > 1e-9 {
+		t.Fatalf("LoadFactor = %v, want 0.001", got)
+	}
+}
+
+func TestConfigBadArrivalsRejected(t *testing.T) {
+	c := Config{Arrivals: Poisson(0), Duration: Fixed(1)}
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero-mean arrival process accepted")
+	}
+}
+
+func TestBurstyDeterministic(t *testing.T) {
+	b := Bursty{QuietGap: 10 * ms, BurstGap: 100 * us, BurstLen: 4}
+	run := func() []int64 {
+		src := rng.New(11)
+		var state uint64
+		out := make([]int64, 1000)
+		for i := range out {
+			out[i] = b.NextGap(src, &state)
+		}
+		return out
+	}
+	a, c := run(), run()
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("gap %d differs", i)
+		}
+	}
+}
+
+// Property: gaps are always positive and bursts always terminate.
+func TestQuickBurstyGapsPositive(t *testing.T) {
+	f := func(seed uint64, quietRaw, burstRaw uint16, lenRaw uint8) bool {
+		b := Bursty{
+			QuietGap: int64(quietRaw)*ms + 1,
+			BurstGap: int64(burstRaw)*us + 1,
+			BurstLen: 1 + float64(lenRaw%20),
+		}
+		src := rng.New(seed)
+		var state uint64
+		for i := 0; i < 200; i++ {
+			if b.NextGap(src, &state) < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	w := Weibull{Scale: float64(5 * ms), Shape: 1}
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w.MeanGap()-float64(5*ms)) > 1 {
+		t.Fatalf("shape-1 mean %v, want scale %v", w.MeanGap(), float64(5*ms))
+	}
+	src := rng.New(3)
+	var state uint64
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		g := w.NextGap(src, &state)
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += float64(g)
+	}
+	got := sum / n
+	if math.Abs(got-float64(5*ms))/float64(5*ms) > 0.02 {
+		t.Fatalf("empirical mean %v, want ~%v", got, float64(5*ms))
+	}
+}
+
+func TestWeibullClusteringShape(t *testing.T) {
+	// Shape < 1: higher variance than exponential at the same mean —
+	// check the coefficient of variation exceeds 1.
+	w := Weibull{Scale: float64(ms), Shape: 0.5}
+	src := rng.New(7)
+	var state uint64
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		g := float64(w.NextGap(src, &state))
+		sum += g
+		sumSq += g * g
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if cv := sd / mean; cv < 1.5 {
+		t.Fatalf("shape 0.5 CV = %v, want heavy-tailed (> 1.5)", cv)
+	}
+	// Mean matches lambda*Gamma(3) = 2*lambda.
+	if math.Abs(mean-w.MeanGap())/w.MeanGap() > 0.05 {
+		t.Fatalf("empirical mean %v vs analytic %v", mean, w.MeanGap())
+	}
+}
+
+func TestWeibullValidate(t *testing.T) {
+	if err := (Weibull{Scale: 0, Shape: 1}).Validate(); err == nil {
+		t.Fatal("zero scale accepted")
+	}
+	if err := (Weibull{Scale: 1, Shape: 0}).Validate(); err == nil {
+		t.Fatal("zero shape accepted")
+	}
+}
+
+func TestCEWithWeibullArrivals(t *testing.T) {
+	m, err := NewCE(1, Config{
+		Seed:     5,
+		Arrivals: Weibull{Scale: float64(10 * ms), Shape: 0.7},
+		Duration: Fixed(10 * us),
+		Target:   AllNodes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := m.Extend(0, 0, 10*s)
+	if end <= 10*s || m.Events() == 0 {
+		t.Fatal("weibull arrivals produced no detours")
+	}
+}

@@ -1,0 +1,151 @@
+package noise
+
+import (
+	"testing"
+)
+
+func TestSharedCEValidation(t *testing.T) {
+	good := Config{Seed: 1, MTBCE: s, Duration: Fixed(ms), Target: AllNodes}
+	if _, err := NewSharedCE(4, 2, good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if _, err := NewSharedCE(4, 0, good); err == nil {
+		t.Fatal("0 ranks per node accepted")
+	}
+	if _, err := NewSharedCE(4, 2, Config{Seed: 1, MTBCE: s, Duration: Fixed(ms), Target: 4}); err == nil {
+		t.Fatal("target beyond node count accepted")
+	}
+	if _, err := NewSharedCE(4, 2, Config{MTBCE: 0, Duration: Fixed(1)}); err == nil {
+		t.Fatal("invalid noise config accepted")
+	}
+}
+
+func TestSharedCECorrelatedAcrossRanks(t *testing.T) {
+	// Two ranks on the same node, identical busy windows: both must be
+	// extended identically (the SMI halts the whole node).
+	m, err := NewSharedCE(2, 2, Config{Seed: 3, MTBCE: 10 * ms, Duration: Fixed(ms), Target: AllNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := m.Extend(0, 0, s) // rank 0, node 0
+	b := m.Extend(1, 0, s) // rank 1, node 0
+	if a != b {
+		t.Fatalf("co-located ranks diverged: %d vs %d", a, b)
+	}
+	// A rank on the other node sees a different schedule.
+	c := m.Extend(2, 0, s) // rank 2, node 1
+	if c == a {
+		t.Fatal("distinct nodes share a schedule")
+	}
+}
+
+func TestSharedCEOutOfOrderQueries(t *testing.T) {
+	// Co-located ranks query in arbitrary time order; results must
+	// depend only on the window, not on the query order.
+	mk := func() *SharedCE {
+		m, err := NewSharedCE(1, 4, Config{Seed: 7, MTBCE: 5 * ms, Duration: Fixed(100 * us), Target: AllNodes})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	m1 := mk()
+	early1 := m1.Extend(0, 0, 20*ms)
+	late1 := m1.Extend(1, 500*ms, 20*ms)
+	m2 := mk()
+	late2 := m2.Extend(1, 500*ms, 20*ms) // reverse order
+	early2 := m2.Extend(0, 0, 20*ms)
+	if early1 != early2 || late1 != late2 {
+		t.Fatalf("query order changed results: (%d,%d) vs (%d,%d)", early1, late1, early2, late2)
+	}
+}
+
+func TestSharedCEMatchesStreamingStatistically(t *testing.T) {
+	// With one rank per node, SharedCE and CE should charge similar
+	// total detour time over a long window (they draw durations at
+	// different points of the stream, so exact equality is not
+	// expected).
+	cfg := Config{Seed: 9, MTBCE: 2 * ms, Duration: Fixed(50 * us), Target: AllNodes}
+	shared, err := NewSharedCE(1, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streaming, err := NewCE(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := shared.Extend(0, 0, 10*s)
+	b := streaming.Extend(0, 0, 10*s)
+	ratio := float64(a-10*s) / float64(b-10*s)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("shared vs streaming detour totals diverge: %d vs %d", a-10*s, b-10*s)
+	}
+}
+
+func TestSharedCETargetedNode(t *testing.T) {
+	m, err := NewSharedCE(2, 2, Config{Seed: 5, MTBCE: ms, Duration: Fixed(100 * us), Target: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranks 0,1 on node 0: unaffected. Ranks 2,3 on node 1: affected.
+	if got := m.Extend(0, 0, s); got != s {
+		t.Fatal("untargeted node extended")
+	}
+	if got := m.Extend(1, 0, s); got != s {
+		t.Fatal("untargeted node extended (rank 1)")
+	}
+	if got := m.Extend(2, 0, s); got == s {
+		t.Fatal("targeted node not extended")
+	}
+}
+
+func TestSharedCESaturationGuard(t *testing.T) {
+	m, err := NewSharedCE(1, 1, Config{
+		Seed: 1, MTBCE: ms, Duration: Fixed(100 * ms), Target: AllNodes, SaturationFactor: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Extend(0, 0, s)
+	if !m.Saturated() {
+		t.Fatal("divergent load not flagged")
+	}
+}
+
+func TestSharedCENodeSchedule(t *testing.T) {
+	m, err := NewSharedCE(1, 1, Config{Seed: 2, MTBCE: 10 * ms, Duration: Fixed(ms), Target: AllNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Extend(0, 0, s)
+	times, durs := m.NodeSchedule(0)
+	if len(times) == 0 || len(times) != len(durs) {
+		t.Fatalf("schedule lengths: %d times, %d durs", len(times), len(durs))
+	}
+	last := int64(-1)
+	for i, tm := range times {
+		if tm <= last {
+			t.Fatal("schedule not strictly increasing")
+		}
+		last = tm
+		if durs[i] != ms {
+			t.Fatalf("duration %d, want %d", durs[i], ms)
+		}
+	}
+}
+
+func TestSharedCECounters(t *testing.T) {
+	m, err := NewSharedCE(1, 2, Config{Seed: 4, MTBCE: 10 * ms, Duration: Fixed(ms), Target: AllNodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Extend(0, 0, s)
+	ev1 := m.Events()
+	m.Extend(1, 0, s) // same node, same window: same detours charged again
+	if m.Events() != 2*ev1 {
+		t.Fatalf("events = %d after symmetric double charge, want %d", m.Events(), 2*ev1)
+	}
+	if m.Stolen() != int64(m.Events())*ms {
+		t.Fatal("stolen/events mismatch")
+	}
+}

@@ -1,0 +1,63 @@
+package predict
+
+import (
+	"fmt"
+
+	"repro/internal/systems"
+)
+
+// BudgetResult is the reliability budget implied by an overhead target:
+// the paper's conclusions expressed as numbers a procurement or RAS
+// team can act on.
+type BudgetResult struct {
+	// MinMTBCENanos is the smallest per-node MTBCE keeping the
+	// predicted slowdown within budget.
+	MinMTBCENanos int64
+	// MaxCEPerNodeYear is the equivalent maximum CE rate per node.
+	MaxCEPerNodeYear float64
+	// MaxCEPerGiBYear is the equivalent rate per GiB of node DRAM.
+	MaxCEPerGiBYear float64
+	// VsCielo is MaxCEPerGiBYear relative to the Cielo-measured rate
+	// (0.82 CE/GiB/year), the paper's baseline for "how much worse can
+	// future DRAM get".
+	VsCielo float64
+	// Satisfying lists the Table II systems (simulated rows) whose
+	// stated MTBCE meets the requirement.
+	Satisfying []string
+	// Violating lists the rows that do not.
+	Violating []string
+}
+
+// Budget inverts the overhead model into a reliability requirement for
+// a machine of the given size running an application with the given
+// synchronization cadence.
+func Budget(nodes int, perEventNanos, syncIntervalNanos int64, budgetPct, gibPerNode float64) (*BudgetResult, error) {
+	if gibPerNode <= 0 {
+		return nil, fmt.Errorf("predict: GiB per node must be positive, got %v", gibPerNode)
+	}
+	min, err := MinMTBCE(nodes, perEventNanos, syncIntervalNanos, budgetPct)
+	if err != nil {
+		return nil, err
+	}
+	mtbceSec := float64(min) / 1e9
+	perNodeYear := systems.SecondsPerYear / mtbceSec
+	perGiBYear := perNodeYear / gibPerNode
+	cielo, err := systems.ByName("cielo")
+	if err != nil {
+		return nil, err
+	}
+	res := &BudgetResult{
+		MinMTBCENanos:    min,
+		MaxCEPerNodeYear: perNodeYear,
+		MaxCEPerGiBYear:  perGiBYear,
+		VsCielo:          perGiBYear / cielo.CEPerGiBYear,
+	}
+	for _, s := range systems.Simulated() {
+		if s.MTBCESeconds >= mtbceSec {
+			res.Satisfying = append(res.Satisfying, s.Name)
+		} else {
+			res.Violating = append(res.Violating, s.Name)
+		}
+	}
+	return res, nil
+}

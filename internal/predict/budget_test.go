@@ -1,0 +1,89 @@
+package predict
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBudgetFirmwareExascale(t *testing.T) {
+	sync := SyncInterval(mustSpec(t, "lulesh"))
+	res, err := Budget(16384, 133*ms, sync, 10, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: with firmware logging an exascale machine
+	// can only tolerate a small multiple of Cielo's per-GiB CE rate.
+	if res.VsCielo > 20 {
+		t.Fatalf("firmware budget allows %vx Cielo, paper says ~10-20x is already too much", res.VsCielo)
+	}
+	// Current systems pass, the x10+ hypotheticals fail.
+	if !contains(res.Satisfying, "cielo") || !contains(res.Satisfying, "summit") {
+		t.Fatalf("current systems not satisfying: %v", res.Satisfying)
+	}
+	for _, name := range []string{"exascale-cielo-x100", "exascale-facebook-median"} {
+		if !contains(res.Violating, name) {
+			t.Fatalf("%s not flagged as violating: %v", name, res.Violating)
+		}
+	}
+	// Internal consistency: rates derive from the MTBCE.
+	wantPerNode := 365.25 * 24 * 3600 / (float64(res.MinMTBCENanos) / 1e9)
+	if math.Abs(res.MaxCEPerNodeYear-wantPerNode) > 1e-6*wantPerNode {
+		t.Fatalf("per-node rate inconsistent: %v vs %v", res.MaxCEPerNodeYear, wantPerNode)
+	}
+	if math.Abs(res.MaxCEPerGiBYear-res.MaxCEPerNodeYear/700) > 1e-9 {
+		t.Fatal("per-GiB rate inconsistent")
+	}
+}
+
+func TestBudgetSoftwareGenerous(t *testing.T) {
+	sync := SyncInterval(mustSpec(t, "hpcg"))
+	res, err := Budget(16384, 775*us, sync, 10, 700)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper conclusion (ii): software logging tolerates at least the
+	// Facebook-median rate (120x Cielo); every Table II row passes.
+	if len(res.Violating) != 0 {
+		t.Fatalf("software budget rejects systems: %v", res.Violating)
+	}
+	if res.VsCielo < 120 {
+		t.Fatalf("software budget allows only %vx Cielo, want >= 120x", res.VsCielo)
+	}
+}
+
+func TestBudgetErrors(t *testing.T) {
+	if _, err := Budget(16, 1*ms, 1*ms, 10, 0); err == nil {
+		t.Fatal("zero GiB accepted")
+	}
+	if _, err := Budget(16, 1*ms, 1*ms, -1, 16); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+}
+
+func TestBudgetTighterIsStricter(t *testing.T) {
+	sync := SyncInterval(mustSpec(t, "milc"))
+	loose, err := Budget(4096, 133*ms, sync, 25, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Budget(4096, 133*ms, sync, 2, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.MinMTBCENanos <= loose.MinMTBCENanos {
+		t.Fatalf("tighter budget did not raise the MTBCE floor: %d vs %d",
+			tight.MinMTBCENanos, loose.MinMTBCENanos)
+	}
+	if tight.MaxCEPerGiBYear >= loose.MaxCEPerGiBYear {
+		t.Fatal("tighter budget did not reduce the tolerable rate")
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,206 @@
+// Package predict provides a closed-form, first-order estimate of the
+// application slowdown caused by correctable-error logging, and inverts
+// it into the prescriptive guidance the paper's conclusions give
+// ("MTBCE(node) for an exascale system should not drop below
+// 3,024-5,544 seconds").
+//
+// The model captures the three regimes the simulation exhibits:
+//
+//   - no progress: per-node handling load rho = D/MTBCE >= 1;
+//   - serialized: in a bulk-synchronous application that synchronizes
+//     every T nanoseconds, each synchronization interval is stretched by
+//     the *maximum* CE handling time over all nodes in that interval.
+//     When detours are rare (N*T/MTBCE < 1) nearly every detour lands in
+//     its own interval and serializes fully into the makespan;
+//   - parallel-absorbed: when many nodes are hit in the same interval
+//     (N*T/MTBCE >> 1), their detours overlap in wall-clock time and
+//     only the per-interval maximum count matters.
+//
+// The estimate is deliberately simple: it needs only the node count,
+// the MTBCE, the per-event cost and the workload's synchronization
+// interval. It tracks the simulator's orderings and regime boundaries;
+// treat absolute values as an upper-bound heuristic (the simulator
+// additionally models slack absorption in halo exchanges, NIC gaps and
+// non-blocking overlap).
+package predict
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tracegen"
+)
+
+// Inputs describe a deployment scenario.
+type Inputs struct {
+	// Nodes is the machine size (one rank per node).
+	Nodes int
+	// MTBCENanos is the per-node mean time between CEs.
+	MTBCENanos int64
+	// PerEventNanos is the per-CE handling (logging) time.
+	PerEventNanos int64
+	// SyncIntervalNanos is the application's synchronization period:
+	// the compute time between collectives. Use SyncInterval to derive
+	// it from a workload skeleton.
+	SyncIntervalNanos int64
+}
+
+// Validate reports errors in the inputs.
+func (in Inputs) Validate() error {
+	if in.Nodes < 1 {
+		return fmt.Errorf("predict: nodes must be >= 1, got %d", in.Nodes)
+	}
+	if in.MTBCENanos <= 0 {
+		return fmt.Errorf("predict: MTBCE must be positive, got %d", in.MTBCENanos)
+	}
+	if in.PerEventNanos < 0 {
+		return fmt.Errorf("predict: per-event cost must be non-negative, got %d", in.PerEventNanos)
+	}
+	if in.SyncIntervalNanos <= 0 {
+		return fmt.Errorf("predict: sync interval must be positive, got %d", in.SyncIntervalNanos)
+	}
+	return nil
+}
+
+// Regime labels the dominant mechanism behind an estimate.
+type Regime string
+
+// Regimes.
+const (
+	RegimeNoProgress Regime = "no-progress"
+	RegimeSerialized Regime = "serialized"
+	RegimeParallel   Regime = "parallel-absorbed"
+	RegimeNegligible Regime = "negligible"
+)
+
+// Estimate is a predicted slowdown.
+type Estimate struct {
+	// Pct is the predicted slowdown percentage; +Inf for no-progress.
+	Pct float64
+	// Regime labels the dominant mechanism.
+	Regime Regime
+	// LoadFactor is the per-node handling load rho = D/MTBCE.
+	LoadFactor float64
+	// HitsPerInterval is N*T/MTBCE, the expected number of nodes hit
+	// per synchronization interval.
+	HitsPerInterval float64
+}
+
+// negligibleThreshold separates "negligible" labelling from the real
+// regimes; purely cosmetic.
+const negligibleThreshold = 0.1 // percent
+
+// Slowdown estimates the slowdown for the scenario.
+func Slowdown(in Inputs) (Estimate, error) {
+	if err := in.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	d := float64(in.PerEventNanos)
+	m := float64(in.MTBCENanos)
+	t := float64(in.SyncIntervalNanos)
+	n := float64(in.Nodes)
+
+	rho := d / m
+	if rho >= 1 {
+		return Estimate{Pct: math.Inf(1), Regime: RegimeNoProgress, LoadFactor: rho}, nil
+	}
+	// Local dilation on each node: work takes 1/(1-rho) longer.
+	local := rho / (1 - rho)
+
+	// Expected per-node detour count per synchronization interval, and
+	// the expected maximum over all nodes. For small mu the max over N
+	// nodes of Poisson(mu) is well approximated by the expected count
+	// of intervals with at least one hit; for large mu the Gumbel-like
+	// tail mu + sqrt(2 mu ln N) + ln N is a serviceable upper estimate.
+	mu := t / m
+	hits := n * mu
+	var maxHits float64
+	if hits <= 1 {
+		maxHits = hits
+	} else if lnN := math.Log(n); mu < 1 {
+		maxHits = 1 + lnN/math.Max(1, math.Log(lnN/mu+1))
+	} else {
+		maxHits = mu + math.Sqrt(2*mu*math.Log(n)) + math.Log(n)
+	}
+	// Each synchronization interval of length t is stretched by the
+	// per-interval maximum handling time, discounted by the slack
+	// fraction a detour can hide in (detours much shorter than the
+	// interval partially overlap communication and imbalance).
+	w := d / (d + t)
+	sync := maxHits * d / t * math.Max(w, 1/(1+math.Sqrt(n)))
+
+	pct := 100 * (local + sync)
+	est := Estimate{Pct: pct, LoadFactor: rho, HitsPerInterval: hits}
+	switch {
+	case pct < negligibleThreshold:
+		est.Regime = RegimeNegligible
+	case hits > 1:
+		est.Regime = RegimeParallel
+	default:
+		est.Regime = RegimeSerialized
+	}
+	return est, nil
+}
+
+// SyncInterval derives a workload's synchronization period from its
+// skeleton: the compute grain divided by the number of synchronizing
+// collectives per iteration. Workloads that only synchronize every k
+// iterations (LAMMPS-lj/snap) get k full grains.
+func SyncInterval(spec tracegen.Spec) int64 {
+	colls := spec.DotsPerIter
+	if spec.AllreduceEvery > 0 {
+		colls++
+	}
+	if colls == 0 {
+		// No collectives at all: halo exchange still synchronizes with
+		// neighbours once per iteration.
+		return spec.ComputeNs
+	}
+	interval := spec.ComputeNs / int64(colls)
+	if spec.DotsPerIter == 0 && spec.AllreduceEvery > 1 {
+		interval = spec.ComputeNs * int64(spec.AllreduceEvery)
+	}
+	return interval
+}
+
+// MinMTBCE returns the smallest per-node MTBCE that keeps the predicted
+// slowdown at or below budgetPct, by bisection over MTBCE. The paper's
+// conclusion (i) is exactly this quantity for firmware logging on an
+// exascale system with a 10% budget.
+func MinMTBCE(nodes int, perEventNanos, syncIntervalNanos int64, budgetPct float64) (int64, error) {
+	if budgetPct <= 0 {
+		return 0, fmt.Errorf("predict: budget must be positive, got %v", budgetPct)
+	}
+	probe := func(mtbce int64) (float64, error) {
+		est, err := Slowdown(Inputs{
+			Nodes: nodes, MTBCENanos: mtbce,
+			PerEventNanos: perEventNanos, SyncIntervalNanos: syncIntervalNanos,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return est.Pct, nil
+	}
+	lo, hi := int64(1), int64(100*365*24)*3600*1e9 // 1 ns .. 100 years
+	// Slowdown is monotone non-increasing in MTBCE; find the boundary.
+	pctHi, err := probe(hi)
+	if err != nil {
+		return 0, err
+	}
+	if pctHi > budgetPct {
+		return 0, fmt.Errorf("predict: budget %v%% unreachable even at MTBCE=100y", budgetPct)
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		pct, err := probe(mid)
+		if err != nil {
+			return 0, err
+		}
+		if pct <= budgetPct {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,269 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/noise"
+	"repro/internal/tracegen"
+)
+
+const (
+	us = int64(1000)
+	ms = int64(1000 * 1000)
+	s  = int64(1000 * 1000 * 1000)
+)
+
+func mustSlowdown(t *testing.T, in Inputs) Estimate {
+	t.Helper()
+	est, err := Slowdown(in)
+	if err != nil {
+		t.Fatalf("slowdown: %v", err)
+	}
+	return est
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Inputs{
+		{Nodes: 0, MTBCENanos: s, PerEventNanos: 1, SyncIntervalNanos: ms},
+		{Nodes: 1, MTBCENanos: 0, PerEventNanos: 1, SyncIntervalNanos: ms},
+		{Nodes: 1, MTBCENanos: s, PerEventNanos: -1, SyncIntervalNanos: ms},
+		{Nodes: 1, MTBCENanos: s, PerEventNanos: 1, SyncIntervalNanos: 0},
+	}
+	for i, in := range bad {
+		if _, err := Slowdown(in); err == nil {
+			t.Fatalf("bad input %d accepted", i)
+		}
+	}
+}
+
+func TestNoProgressRegime(t *testing.T) {
+	est := mustSlowdown(t, Inputs{
+		Nodes: 16384, MTBCENanos: 100 * ms, PerEventNanos: 133 * ms, SyncIntervalNanos: 20 * ms,
+	})
+	if est.Regime != RegimeNoProgress || !math.IsInf(est.Pct, 1) {
+		t.Fatalf("load 1.33 not no-progress: %+v", est)
+	}
+}
+
+func TestNegligibleRegime(t *testing.T) {
+	// Hardware-only correction at Cielo's rate: nothing to see.
+	est := mustSlowdown(t, Inputs{
+		Nodes: 8192, MTBCENanos: 1_200_000 * s, PerEventNanos: 150, SyncIntervalNanos: 20 * ms,
+	})
+	if est.Regime != RegimeNegligible {
+		t.Fatalf("hardware-only at Cielo rate not negligible: %+v", est)
+	}
+	if est.Pct > 0.01 {
+		t.Fatalf("predicted %v%%, want ~0", est.Pct)
+	}
+}
+
+func TestMonotoneInMTBCE(t *testing.T) {
+	base := Inputs{Nodes: 16384, PerEventNanos: 133 * ms, SyncIntervalNanos: 20 * ms}
+	last := math.Inf(1)
+	for _, mtbce := range []int64{1 * s, 10 * s, 100 * s, 1000 * s, 10000 * s, 100000 * s} {
+		in := base
+		in.MTBCENanos = mtbce
+		est := mustSlowdown(t, in)
+		if !math.IsInf(est.Pct, 1) && est.Pct > last {
+			t.Fatalf("slowdown increased with rarer CEs at mtbce=%d: %v > %v", mtbce, est.Pct, last)
+		}
+		if !math.IsInf(est.Pct, 1) {
+			last = est.Pct
+		}
+	}
+}
+
+func TestMonotoneInDuration(t *testing.T) {
+	base := Inputs{Nodes: 16384, MTBCENanos: 5544 * s, SyncIntervalNanos: 20 * ms}
+	last := -1.0
+	for _, d := range []int64{150, 1 * us, 775 * us, 10 * ms, 133 * ms} {
+		in := base
+		in.PerEventNanos = d
+		est := mustSlowdown(t, in)
+		if est.Pct < last {
+			t.Fatalf("slowdown decreased with longer events at d=%d: %v < %v", d, est.Pct, last)
+		}
+		last = est.Pct
+	}
+}
+
+func TestMonotoneInNodes(t *testing.T) {
+	base := Inputs{MTBCENanos: 5544 * s, PerEventNanos: 133 * ms, SyncIntervalNanos: 20 * ms}
+	last := -1.0
+	for _, n := range []int{64, 512, 4096, 16384} {
+		in := base
+		in.Nodes = n
+		est := mustSlowdown(t, in)
+		if est.Pct < last {
+			t.Fatalf("slowdown decreased with more nodes at n=%d: %v < %v", n, est.Pct, last)
+		}
+		last = est.Pct
+	}
+}
+
+func TestPaperConclusionFirmwareBoundary(t *testing.T) {
+	// Paper conclusion (i): with firmware-first logging, an exascale
+	// system's MTBCE(node) must stay above ~3,024-5,544 s for < 10%
+	// overhead. The analytic boundary should land within an order of
+	// magnitude of that band.
+	sync := SyncInterval(mustSpec(t, "lulesh"))
+	min, err := MinMTBCE(16384, 133*ms, sync, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSec := float64(min) / 1e9
+	if minSec < 300 || minSec > 60000 {
+		t.Fatalf("firmware 10%% boundary at %.0fs, want within [300s, 60000s] around the paper's 3024-5544s", minSec)
+	}
+}
+
+func TestPaperConclusionSoftwareHeadroom(t *testing.T) {
+	// Paper conclusion (ii): with OS logging an MTBCE of 432 s (120x
+	// Cielo) is fine. The predictor must agree it is below 10%.
+	sync := SyncInterval(mustSpec(t, "hpcg"))
+	est := mustSlowdown(t, Inputs{
+		Nodes: 16384, MTBCENanos: 432 * s, PerEventNanos: 775 * us, SyncIntervalNanos: sync,
+	})
+	if est.Pct >= 10 {
+		t.Fatalf("software at 432s MTBCE predicted %v%%, paper says well under 10%%", est.Pct)
+	}
+}
+
+func TestMinMTBCEInverse(t *testing.T) {
+	// Slowdown(MinMTBCE(budget)) <= budget, and slightly below the
+	// boundary it exceeds the budget.
+	for _, budget := range []float64{1, 10, 50} {
+		min, err := MinMTBCE(4096, 133*ms, 50*ms, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := mustSlowdown(t, Inputs{Nodes: 4096, MTBCENanos: min, PerEventNanos: 133 * ms, SyncIntervalNanos: 50 * ms})
+		if at.Pct > budget+1e-6 {
+			t.Fatalf("budget %v: slowdown at boundary = %v", budget, at.Pct)
+		}
+		if min > 2 {
+			below := mustSlowdown(t, Inputs{Nodes: 4096, MTBCENanos: min / 2, PerEventNanos: 133 * ms, SyncIntervalNanos: 50 * ms})
+			if !math.IsInf(below.Pct, 1) && below.Pct <= budget {
+				t.Fatalf("budget %v: half the boundary MTBCE still within budget (%v%%)", budget, below.Pct)
+			}
+		}
+	}
+}
+
+func TestMinMTBCEBadBudget(t *testing.T) {
+	if _, err := MinMTBCE(16, 1*ms, 1*ms, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func mustSpec(t *testing.T, name string) tracegen.Spec {
+	t.Helper()
+	spec, err := tracegen.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+func TestSyncIntervalDerivation(t *testing.T) {
+	// lulesh: allreduce every iteration -> interval = grain.
+	lul := mustSpec(t, "lulesh")
+	if got := SyncInterval(lul); got != lul.ComputeNs {
+		t.Fatalf("lulesh sync interval %d, want %d", got, lul.ComputeNs)
+	}
+	// hpcg: 2 dots per iteration -> grain/2.
+	hp := mustSpec(t, "hpcg")
+	if got := SyncInterval(hp); got != hp.ComputeNs/2 {
+		t.Fatalf("hpcg sync interval %d, want %d", got, hp.ComputeNs/2)
+	}
+	// lammps-lj: allreduce every 50 iterations -> 50 grains.
+	lj := mustSpec(t, "lammps-lj")
+	if got := SyncInterval(lj); got != lj.ComputeNs*50 {
+		t.Fatalf("lammps-lj sync interval %d, want %d", got, lj.ComputeNs*50)
+	}
+	// milc: one dot and one control allreduce -> grain/2.
+	milc := mustSpec(t, "milc")
+	if got := SyncInterval(milc); got != milc.ComputeNs/2 {
+		t.Fatalf("milc sync interval %d, want %d", got, milc.ComputeNs/2)
+	}
+}
+
+func TestWorkloadSensitivityOrdering(t *testing.T) {
+	// The predictor must reproduce the paper's headline ordering: the
+	// frequently synchronizing workloads (lammps-crack, lulesh) are
+	// hurt far more by firmware logging than lammps-lj/snap.
+	pct := func(name string) float64 {
+		est := mustSlowdown(t, Inputs{
+			Nodes: 16384, MTBCENanos: 5544 * s, PerEventNanos: 133 * ms,
+			SyncIntervalNanos: SyncInterval(mustSpec(t, name)),
+		})
+		return est.Pct
+	}
+	crack, lul := pct("lammps-crack"), pct("lulesh")
+	lj, snap := pct("lammps-lj"), pct("lammps-snap")
+	if crack <= lj || lul <= lj {
+		t.Fatalf("ordering broken: crack=%v lulesh=%v lj=%v", crack, lul, lj)
+	}
+	if crack <= snap || lul <= snap {
+		t.Fatalf("ordering broken vs snap: crack=%v lulesh=%v snap=%v", crack, lul, snap)
+	}
+}
+
+// The predictor should track the simulator's ordering across logging
+// modes on a fixed scenario.
+func TestPredictorTracksSimulatorOrdering(t *testing.T) {
+	exp, err := core.NewExperiment(core.ExperimentConfig{
+		Workload: "minife", Nodes: 32, Iterations: 20, TraceSeed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := mustSpec(t, "minife")
+	sync := SyncInterval(spec)
+	type point struct{ sim, pred float64 }
+	var pts []point
+	for _, d := range []int64{775 * us, 10 * ms, 133 * ms} {
+		rep, err := exp.RunRepeated(core.Scenario{
+			MTBCE: 2 * s, PerEvent: noise.Fixed(d), Target: noise.AllNodes, Seed: 3,
+		}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := mustSlowdown(t, Inputs{
+			Nodes: 32, MTBCENanos: 2 * s, PerEventNanos: d, SyncIntervalNanos: sync,
+		})
+		pts = append(pts, point{sim: rep.Sample.Mean(), pred: est.Pct})
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].sim > pts[i-1].sim && pts[i].pred < pts[i-1].pred {
+			t.Fatalf("prediction ordering disagrees with simulation: %+v", pts)
+		}
+	}
+}
+
+// Property: estimates are finite and non-negative whenever rho < 1.
+func TestQuickEstimateSane(t *testing.T) {
+	f := func(nRaw uint16, mtbceRaw, durRaw uint32, syncRaw uint16) bool {
+		in := Inputs{
+			Nodes:             1 + int(nRaw%20000),
+			MTBCENanos:        int64(mtbceRaw)*ms + int64(durRaw)*2 + 1,
+			PerEventNanos:     int64(durRaw),
+			SyncIntervalNanos: int64(syncRaw)*us + 1,
+		}
+		est, err := Slowdown(in)
+		if err != nil {
+			return false
+		}
+		if est.LoadFactor >= 1 {
+			return math.IsInf(est.Pct, 1)
+		}
+		return est.Pct >= 0 && !math.IsNaN(est.Pct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

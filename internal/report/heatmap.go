@@ -1,0 +1,123 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a 2D grid of values as ASCII shades, used for the
+// (MTBCE x per-event-duration) overhead surfaces that generalize the
+// paper's Fig. 7. Rows and columns carry labels; values map onto a
+// shade ramp, with negative values (sentinels, e.g. "no progress")
+// rendered as 'X'.
+type Heatmap struct {
+	Title    string
+	RowLabel string
+	ColLabel string
+	RowNames []string
+	ColNames []string
+	// Values[r][c]; len(Values) == len(RowNames), len(Values[r]) ==
+	// len(ColNames).
+	Values [][]float64
+	// LogScale shades by log10 of the value, natural for slowdowns
+	// spanning 0.01% to 1000%.
+	LogScale bool
+}
+
+// shadeRamp orders shades from low to high.
+const shadeRamp = ".:-=+*#%@"
+
+// Render writes the heatmap.
+func (h *Heatmap) Render(w io.Writer) error {
+	if len(h.Values) != len(h.RowNames) {
+		return fmt.Errorf("report: %d value rows vs %d row names", len(h.Values), len(h.RowNames))
+	}
+	for r, row := range h.Values {
+		if len(row) != len(h.ColNames) {
+			return fmt.Errorf("report: row %d has %d values vs %d col names", r, len(row), len(h.ColNames))
+		}
+	}
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	tv := func(v float64) float64 {
+		if h.LogScale {
+			if v <= 0 {
+				return math.Inf(1)
+			}
+			return math.Log10(v)
+		}
+		return v
+	}
+	for _, row := range h.Values {
+		for _, v := range row {
+			if v < 0 {
+				continue // sentinel
+			}
+			x := tv(v)
+			if math.IsInf(x, 1) {
+				continue
+			}
+			if x < minV {
+				minV = x
+			}
+			if x > maxV {
+				maxV = x
+			}
+		}
+	}
+	if maxV <= minV {
+		maxV = minV + 1
+	}
+	headerLabel := h.RowLabel + "\\" + h.ColLabel
+	rowWidth := len(headerLabel) - 2
+	for _, n := range h.RowNames {
+		if len(n) > rowWidth {
+			rowWidth = len(n)
+		}
+	}
+	colWidth := 1
+	for _, n := range h.ColNames {
+		if len(n) > colWidth {
+			colWidth = len(n)
+		}
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", h.Title)
+	}
+	fmt.Fprintf(&b, "%-*s", rowWidth+2, headerLabel)
+	for _, n := range h.ColNames {
+		fmt.Fprintf(&b, " %*s", colWidth, n)
+	}
+	b.WriteString("\n")
+	for r, row := range h.Values {
+		fmt.Fprintf(&b, "%-*s", rowWidth+2, h.RowNames[r])
+		for _, v := range row {
+			var cell string
+			switch {
+			case v < 0:
+				cell = "X" // no progress / omitted
+			default:
+				x := tv(v)
+				if math.IsInf(x, 1) {
+					cell = " "
+				} else {
+					idx := int((x - minV) / (maxV - minV) * float64(len(shadeRamp)-1))
+					if idx < 0 {
+						idx = 0
+					}
+					if idx >= len(shadeRamp) {
+						idx = len(shadeRamp) - 1
+					}
+					cell = string(shadeRamp[idx])
+				}
+			}
+			fmt.Fprintf(&b, " %*s", colWidth, cell)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "shade: low %q .. high %q, X = no progress\n", shadeRamp[0], shadeRamp[len(shadeRamp)-1])
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,121 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func demoHeatmap() *Heatmap {
+	return &Heatmap{
+		Title:    "demo",
+		RowLabel: "mtbce",
+		ColLabel: "dur",
+		RowNames: []string{"0.2s", "720s"},
+		ColNames: []string{"150ns", "133ms"},
+		Values: [][]float64{
+			{0.01, -1},
+			{0.001, 12},
+		},
+		LogScale: true,
+	}
+}
+
+func TestHeatmapRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoHeatmap().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# demo", "mtbce\\dur", "0.2s", "720s", "150ns", "133ms", "X"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHeatmapAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoHeatmap().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	// Header and row lines must place column cells at the same offsets.
+	header := lines[1]
+	row := lines[2]
+	hIdx := strings.Index(header, "150ns")
+	if hIdx < 0 {
+		t.Fatalf("header: %q", header)
+	}
+	// The first data cell must sit within the 150ns column (right
+	// aligned at hIdx+len("150ns")).
+	cell := strings.TrimRight(row[:hIdx+5], " ")
+	if len(cell) <= hIdx-5 {
+		t.Fatalf("data cell misaligned:\n%s\n%s", header, row)
+	}
+}
+
+func TestHeatmapDimensionErrors(t *testing.T) {
+	h := demoHeatmap()
+	h.Values = h.Values[:1]
+	if err := h.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("row count mismatch accepted")
+	}
+	h = demoHeatmap()
+	h.Values[0] = h.Values[0][:1]
+	if err := h.Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("col count mismatch accepted")
+	}
+}
+
+func TestHeatmapShadeMonotone(t *testing.T) {
+	h := &Heatmap{
+		RowNames: []string{"r"},
+		ColNames: []string{"a", "b", "c", "d"},
+		Values:   [][]float64{{1, 10, 100, 1000}},
+		LogScale: true,
+	}
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Find the data row and check shades increase along the ramp.
+	lines := strings.Split(buf.String(), "\n")
+	var row string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "r") {
+			row = l
+			break
+		}
+	}
+	cells := strings.Fields(row[1:])
+	if len(cells) != 4 {
+		t.Fatalf("cells: %q from row %q", cells, row)
+	}
+	last := -1
+	for _, c := range cells {
+		idx := strings.Index(shadeRamp, c)
+		if idx < 0 {
+			t.Fatalf("unknown shade %q", c)
+		}
+		if idx <= last {
+			t.Fatalf("shades not increasing: %q", row)
+		}
+		last = idx
+	}
+}
+
+func TestHeatmapAllSentinels(t *testing.T) {
+	h := &Heatmap{
+		RowNames: []string{"r"},
+		ColNames: []string{"a"},
+		Values:   [][]float64{{-1}},
+	}
+	var buf bytes.Buffer
+	if err := h.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "X") {
+		t.Fatal("sentinel not rendered")
+	}
+}

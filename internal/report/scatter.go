@@ -1,0 +1,134 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ScatterOpts configure an ASCII scatter plot.
+type ScatterOpts struct {
+	// Width and Height are the plot area in characters. Zero means
+	// 72x16.
+	Width, Height int
+	// LogY plots the y axis logarithmically — the natural choice for
+	// detour series spanning microseconds to hundreds of milliseconds
+	// (Fig. 2).
+	LogY bool
+	// XLabel and YLabel caption the axes.
+	XLabel, YLabel string
+}
+
+func (o ScatterOpts) withDefaults() ScatterOpts {
+	if o.Width == 0 {
+		o.Width = 72
+	}
+	if o.Height == 0 {
+		o.Height = 16
+	}
+	return o
+}
+
+// Scatter renders (x, y) points as a fixed-width ASCII plot, one '▪'
+// per occupied cell ('*' in plain ASCII). It is the textual stand-in
+// for the paper's noise-signature figures.
+func Scatter(w io.Writer, xs, ys []float64, opts ScatterOpts) error {
+	if len(xs) != len(ys) {
+		return fmt.Errorf("report: %d xs vs %d ys", len(xs), len(ys))
+	}
+	opts = opts.withDefaults()
+	if len(xs) == 0 {
+		_, err := io.WriteString(w, "(no points)\n")
+		return err
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	ty := func(y float64) float64 {
+		if opts.LogY {
+			if y <= 0 {
+				return math.Inf(1) // dropped below
+			}
+			return math.Log10(y)
+		}
+		return y
+	}
+	for i := range xs {
+		if xs[i] < minX {
+			minX = xs[i]
+		}
+		if xs[i] > maxX {
+			maxX = xs[i]
+		}
+		v := ty(ys[i])
+		if math.IsInf(v, 1) {
+			continue
+		}
+		if v < minY {
+			minY = v
+		}
+		if v > maxY {
+			maxY = v
+		}
+	}
+	if math.IsInf(minY, 1) {
+		_, err := io.WriteString(w, "(no plottable points)\n")
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, opts.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	for i := range xs {
+		v := ty(ys[i])
+		if math.IsInf(v, 1) {
+			continue
+		}
+		col := int((xs[i] - minX) / (maxX - minX) * float64(opts.Width-1))
+		row := int((v - minY) / (maxY - minY) * float64(opts.Height-1))
+		grid[opts.Height-1-row][col] = '*'
+	}
+	var b strings.Builder
+	if opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opts.YLabel)
+	}
+	for i, line := range grid {
+		var tick string
+		switch i {
+		case 0:
+			tick = formatTick(maxY, opts.LogY)
+		case opts.Height - 1:
+			tick = formatTick(minY, opts.LogY)
+		}
+		fmt.Fprintf(&b, "%10s |%s\n", tick, string(line))
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%10s  %-*s%s\n", "", opts.Width-len(fmt.Sprint(formatTick(maxX, false))),
+		formatTick(minX, false), formatTick(maxX, false))
+	if opts.XLabel != "" {
+		fmt.Fprintf(&b, "%10s  %s\n", "", opts.XLabel)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatTick renders an axis value, undoing the log transform.
+func formatTick(v float64, logScale bool) string {
+	if logScale {
+		v = math.Pow(10, v)
+	}
+	switch {
+	case math.Abs(v) >= 1e6:
+		return fmt.Sprintf("%.3g", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.4g", v)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

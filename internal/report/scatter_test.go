@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScatterBasic(t *testing.T) {
+	var buf bytes.Buffer
+	xs := []float64{0, 10, 20, 30}
+	ys := []float64{1, 2, 3, 4}
+	if err := Scatter(&buf, xs, ys, ScatterOpts{Width: 40, Height: 8, XLabel: "time", YLabel: "dur"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "*") != 4 {
+		t.Fatalf("want 4 points, got %d:\n%s", strings.Count(out, "*"), out)
+	}
+	if !strings.Contains(out, "time") || !strings.Contains(out, "dur") {
+		t.Fatal("labels missing")
+	}
+}
+
+func TestScatterMismatchedLengths(t *testing.T) {
+	if err := Scatter(&bytes.Buffer{}, []float64{1}, []float64{1, 2}, ScatterOpts{}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Scatter(&buf, nil, nil, ScatterOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no points") {
+		t.Fatalf("empty plot output: %q", buf.String())
+	}
+}
+
+func TestScatterLogY(t *testing.T) {
+	var buf bytes.Buffer
+	// Values spanning five decades: on a linear axis the small ones
+	// collapse into one row; on a log axis they spread out.
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := []float64{1e-6, 1e-4, 1e-2, 1, 100}
+	if err := Scatter(&buf, xs, ys, ScatterOpts{Width: 20, Height: 10, LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	rows := map[int]bool{}
+	for i, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "*") {
+			rows[i] = true
+		}
+	}
+	if len(rows) < 4 {
+		t.Fatalf("log axis did not spread decades across rows: %d rows\n%s", len(rows), out)
+	}
+}
+
+func TestScatterLogYDropsNonPositive(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Scatter(&buf, []float64{0, 1}, []float64{0, -1}, ScatterOpts{LogY: true}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no plottable points") {
+		t.Fatalf("non-positive log points not dropped: %q", buf.String())
+	}
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Scatter(&buf, []float64{5}, []float64{5}, ScatterOpts{Width: 10, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "*") != 1 {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestScatterDefaultDims(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Scatter(&buf, []float64{0, 1}, []float64{0, 1}, ScatterOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// 16 plot rows + axis + tick line.
+	if len(lines) < 18 {
+		t.Fatalf("default height wrong: %d lines", len(lines))
+	}
+}

@@ -1,0 +1,238 @@
+package retire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func baseCfg() Config {
+	return Config{
+		Seed:            1,
+		Hours:           24 * 365, // one year
+		FaultsPerYear:   6,
+		CEsPerFaultHour: 0.5,
+		Policy:          Policy{Threshold: 3, MaxPages: 64},
+	}
+}
+
+func mustSim(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	res, err := Simulate(cfg)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	return res
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{Hours: 0},
+		{Hours: 1, FaultsPerYear: -1},
+		{Hours: 1, CEsPerFaultHour: -1},
+		{Hours: 1, Policy: Policy{Threshold: -1}},
+		{Hours: 1, Policy: Policy{MaxPages: -1}},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := mustSim(t, baseCfg())
+	b := mustSim(t, baseCfg())
+	if *a != *b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	res := mustSim(t, baseCfg())
+	if res.CEsGenerated != res.CEsLogged+res.CEsSuppressed {
+		t.Fatalf("accounting broken: %d != %d + %d", res.CEsGenerated, res.CEsLogged, res.CEsSuppressed)
+	}
+	if res.BytesRetired != int64(res.PagesRetired)*4096 {
+		t.Fatal("bytes/pages mismatch")
+	}
+	totalFaults := 0
+	for _, n := range res.Faults {
+		totalFaults += n
+	}
+	if totalFaults == 0 || res.CEsGenerated == 0 {
+		t.Fatalf("nothing happened in a year with 6 faults/yr: %+v", res)
+	}
+}
+
+func TestRetirementSuppressesCEs(t *testing.T) {
+	with := mustSim(t, baseCfg())
+	cfg := baseCfg()
+	cfg.Policy.Threshold = 0 // disabled
+	without := mustSim(t, cfg)
+	if with.CEsSuppressed == 0 {
+		t.Fatal("retirement suppressed nothing")
+	}
+	if without.CEsSuppressed != 0 || without.PagesRetired != 0 {
+		t.Fatalf("disabled policy still retired: %+v", without)
+	}
+	// Identical seeds generate identical CE streams; logged CEs must
+	// strictly drop with retirement on.
+	if with.CEsLogged >= without.CEsLogged {
+		t.Fatalf("retirement did not reduce logged CEs: %d vs %d", with.CEsLogged, without.CEsLogged)
+	}
+}
+
+func TestCellFaultsWellContained(t *testing.T) {
+	// A population of only cell faults: each is silenced after
+	// Threshold logged CEs, so logged <= faults * threshold (plus the
+	// page-budget edge).
+	cfg := baseCfg()
+	cfg.Mix = Mix{FaultCell: 1}
+	cfg.Policy = Policy{Threshold: 2, MaxPages: 1 << 20}
+	res := mustSim(t, cfg)
+	maxLogged := res.Faults[FaultCell] * cfg.Policy.Threshold
+	if res.CEsLogged > maxLogged {
+		t.Fatalf("cell faults logged %d CEs, containment bound %d", res.CEsLogged, maxLogged)
+	}
+	if res.SuppressionPct() < 50 {
+		t.Fatalf("cell-fault suppression only %.1f%%, expected high", res.SuppressionPct())
+	}
+}
+
+func TestColumnFaultsEvadeRetirement(t *testing.T) {
+	// Column faults scatter over 512 pages; with the default 64-page
+	// budget and per-page threshold, most CEs keep being logged.
+	cell := baseCfg()
+	cell.Mix = Mix{FaultCell: 1}
+	col := baseCfg()
+	col.Mix = Mix{FaultColumn: 1}
+	cellRes := mustSim(t, cell)
+	colRes := mustSim(t, col)
+	if colRes.SuppressionPct() >= cellRes.SuppressionPct() {
+		t.Fatalf("column suppression %.1f%% >= cell suppression %.1f%%; footprint effect missing",
+			colRes.SuppressionPct(), cellRes.SuppressionPct())
+	}
+}
+
+func TestPageBudgetRespected(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Policy = Policy{Threshold: 1, MaxPages: 5}
+	res := mustSim(t, cfg)
+	if res.PagesRetired > 5 {
+		t.Fatalf("retired %d pages with a budget of 5", res.PagesRetired)
+	}
+}
+
+func TestDefaultPageBudget(t *testing.T) {
+	cfg := baseCfg()
+	cfg.Mix = Mix{FaultColumn: 1}
+	cfg.FaultsPerYear = 50
+	cfg.Policy = Policy{Threshold: 1, MaxPages: 0} // default 64
+	res := mustSim(t, cfg)
+	if res.PagesRetired > 64 {
+		t.Fatalf("default budget exceeded: %d", res.PagesRetired)
+	}
+}
+
+func TestLowerThresholdRetiresEarlier(t *testing.T) {
+	strict := baseCfg()
+	strict.Policy = Policy{Threshold: 1, MaxPages: 1 << 20}
+	lax := baseCfg()
+	lax.Policy = Policy{Threshold: 10, MaxPages: 1 << 20}
+	s := mustSim(t, strict)
+	l := mustSim(t, lax)
+	if s.CEsLogged >= l.CEsLogged {
+		t.Fatalf("threshold 1 logged %d >= threshold 10 logged %d", s.CEsLogged, l.CEsLogged)
+	}
+}
+
+func TestLoggedMTBCE(t *testing.T) {
+	res := mustSim(t, baseCfg())
+	mtbce := res.LoggedMTBCENanos(baseCfg().Hours)
+	if mtbce <= 0 {
+		t.Fatalf("MTBCE = %d", mtbce)
+	}
+	want := int64(baseCfg().Hours * 3600 * 1e9 / float64(res.CEsLogged))
+	if mtbce != want {
+		t.Fatalf("MTBCE = %d, want %d", mtbce, want)
+	}
+	// No logged CEs: sentinel large value.
+	empty := Result{}
+	if empty.LoggedMTBCENanos(1) <= int64(3600*1e9) {
+		t.Fatal("empty MTBCE not large")
+	}
+}
+
+func TestTruncationGuard(t *testing.T) {
+	cfg := baseCfg()
+	cfg.FaultsPerYear = 1000
+	cfg.CEsPerFaultHour = 1000
+	cfg.MaxCEs = 10000
+	res := mustSim(t, cfg)
+	if !res.Truncated {
+		t.Fatal("pathological config not truncated")
+	}
+	if res.CEsGenerated > 10000 {
+		t.Fatalf("generated %d > MaxCEs", res.CEsGenerated)
+	}
+}
+
+func TestFaultKindStrings(t *testing.T) {
+	want := map[FaultKind]string{
+		FaultCell: "cell", FaultRow: "row", FaultColumn: "column", FaultBank: "bank",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Fatalf("%d.String() = %q", k, k.String())
+		}
+	}
+}
+
+func TestFootprintOrdering(t *testing.T) {
+	if !(FaultCell.footprintPages() < FaultRow.footprintPages() &&
+		FaultRow.footprintPages() < FaultColumn.footprintPages() &&
+		FaultColumn.footprintPages() < FaultBank.footprintPages()) {
+		t.Fatal("footprints not ordered cell < row < column < bank")
+	}
+}
+
+// Property: accounting identity and budget hold for arbitrary configs.
+func TestQuickInvariants(t *testing.T) {
+	f := func(seed uint64, faultsRaw, rateRaw, thrRaw, budgetRaw uint8) bool {
+		cfg := Config{
+			Seed:            seed,
+			Hours:           24 * 30,
+			FaultsPerYear:   float64(faultsRaw%50) + 1,
+			CEsPerFaultHour: float64(rateRaw%40)/10 + 0.05,
+			Policy:          Policy{Threshold: int(thrRaw % 8), MaxPages: int(budgetRaw%100) + 1},
+			MaxCEs:          1 << 16,
+		}
+		res, err := Simulate(cfg)
+		if err != nil {
+			return false
+		}
+		if res.CEsGenerated != res.CEsLogged+res.CEsSuppressed {
+			return false
+		}
+		if res.PagesRetired > cfg.Policy.MaxPages {
+			return false
+		}
+		if cfg.Policy.Threshold == 0 && res.PagesRetired != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimulateYear(b *testing.B) {
+	cfg := baseCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+// Package stats provides the summary statistics used by the experiment
+// drivers: means, confidence intervals, percentiles and histograms over
+// repeated simulation results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates observations. The zero value is ready to use.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(xs ...float64) { s.xs = append(s.xs, xs...) }
+
+// N returns the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns a copy of the observations.
+func (s *Sample) Values() []float64 { return append([]float64(nil), s.xs...) }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Var returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Sample) Var() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Sample) StdDev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (+Inf when empty).
+func (s *Sample) Min() float64 {
+	min := math.Inf(1)
+	for _, x := range s.xs {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the largest observation (-Inf when empty).
+func (s *Sample) Max() float64 {
+	max := math.Inf(-1)
+	for _, x := range s.xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the
+// mean, using the normal approximation (adequate for the >= 8
+// repetitions the paper uses per configuration).
+func (s *Sample) CI95() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(n))
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation. It panics on an empty sample or out-of-range p.
+func (s *Sample) Percentile(p float64) float64 {
+	if len(s.xs) == 0 {
+		panic("stats: percentile of empty sample")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	sorted := s.Values()
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary is a one-line description of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CI95   float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize returns the sample's summary.
+func (s *Sample) Summarize() Summary {
+	return Summary{
+		N: s.N(), Mean: s.Mean(), StdDev: s.StdDev(),
+		CI95: s.CI95(), Min: s.Min(), Max: s.Max(),
+	}
+}
+
+// Histogram bins observations into equal-width buckets over [lo, hi).
+// Out-of-range values clamp to the first/last bucket.
+type Histogram struct {
+	Lo, Hi  float64
+	Counts  []int
+	Total   int
+	width   float64
+	samples int
+}
+
+// NewHistogram creates a histogram with the given bounds and bucket
+// count. It panics when hi <= lo or buckets < 1.
+func NewHistogram(lo, hi float64, buckets int) *Histogram {
+	if hi <= lo {
+		panic("stats: histogram hi <= lo")
+	}
+	if buckets < 1 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets), width: (hi - lo) / float64(buckets)}
+}
+
+// Add records an observation.
+func (h *Histogram) Add(x float64) {
+	i := int((x - h.Lo) / h.width)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+	h.Total++
+}
+
+// BucketBounds returns the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (float64, float64) {
+	return h.Lo + float64(i)*h.width, h.Lo + float64(i+1)*h.width
+}
+
+// Slowdown converts a perturbed and baseline makespan to the percentage
+// slowdown used throughout the paper's figures.
+func Slowdown(perturbed, baseline int64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return 100 * (float64(perturbed) - float64(baseline)) / float64(baseline)
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.N() != 0 || s.Mean() != 0 || s.Var() != 0 || s.CI95() != 0 {
+		t.Fatal("empty sample stats not zero")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Fatal("empty min/max not infinite")
+	}
+}
+
+func TestMoments(t *testing.T) {
+	var s Sample
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	// Unbiased variance of this classic set is 32/7.
+	if !almostEq(s.Var(), 32.0/7.0, 1e-12) {
+		t.Fatalf("var = %v, want %v", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var a, b Sample
+	for i := 0; i < 10; i++ {
+		a.Add(float64(i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		b.Add(float64(i % 3))
+	}
+	if b.CI95() >= a.CI95() {
+		t.Fatalf("CI did not shrink: %v vs %v", b.CI95(), a.CI95())
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 3, 4, 5)
+	cases := map[float64]float64{0: 1, 25: 2, 50: 3, 75: 4, 100: 5}
+	for p, want := range cases {
+		if got := s.Percentile(p); !almostEq(got, want, 1e-12) {
+			t.Fatalf("P%.0f = %v, want %v", p, got, want)
+		}
+	}
+	if got := s.Percentile(90); !almostEq(got, 4.6, 1e-12) {
+		t.Fatalf("P90 = %v, want 4.6", got)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	var s Sample
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("empty percentile did not panic")
+			}
+		}()
+		s.Percentile(50)
+	}()
+	s.Add(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range percentile did not panic")
+			}
+		}()
+		s.Percentile(101)
+	}()
+}
+
+func TestSummarize(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 3)
+	sum := s.Summarize()
+	if sum.N != 3 || sum.Mean != 2 || sum.Min != 1 || sum.Max != 3 {
+		t.Fatalf("summary wrong: %+v", sum)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, -3, 42} {
+		h.Add(x)
+	}
+	want := []int{3, 1, 1, 0, 2} // -3 clamps low, 42 clamps high
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+	if h.Total != 7 {
+		t.Fatalf("total = %d", h.Total)
+	}
+	lo, hi := h.BucketBounds(1)
+	if lo != 2 || hi != 4 {
+		t.Fatalf("bucket 1 bounds = [%v,%v)", lo, hi)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(5, 5, 3) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad histogram accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSlowdown(t *testing.T) {
+	if got := Slowdown(110, 100); !almostEq(got, 10, 1e-12) {
+		t.Fatalf("Slowdown(110,100) = %v", got)
+	}
+	if got := Slowdown(100, 100); got != 0 {
+		t.Fatalf("Slowdown(100,100) = %v", got)
+	}
+	if got := Slowdown(400, 100); !almostEq(got, 300, 1e-12) {
+		t.Fatalf("Slowdown(400,100) = %v", got)
+	}
+	if got := Slowdown(5, 0); got != 0 {
+		t.Fatalf("Slowdown with zero baseline = %v, want 0", got)
+	}
+}
+
+// Property: mean lies within [min, max]; variance is non-negative.
+func TestQuickMomentsSane(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9 && s.Var() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []int16, aRaw, bRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		a := float64(aRaw) / 255 * 100
+		b := float64(bRaw) / 255 * 100
+		if a > b {
+			a, b = b, a
+		}
+		return s.Percentile(a) <= s.Percentile(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

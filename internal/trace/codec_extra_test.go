@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTripWildcards(t *testing.T) {
+	tr := &Trace{
+		Name: "wild",
+		Ops: [][]Op{
+			{Send(1, 8, 0)},
+			{Recv(AnySource, 8, AnyTag), Irecv(AnySource, 16, AnyTag, 3), Wait(3)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "recv -1 8 -1") {
+		t.Fatalf("wildcards not encoded as -1:\n%s", buf.String())
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("wildcard round trip mismatch: %+v", got)
+	}
+}
+
+func TestBinaryRoundTripWildcards(t *testing.T) {
+	tr := &Trace{Ops: [][]Op{
+		{Recv(AnySource, 8, AnyTag)},
+	}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ops[0][0].Peer != AnySource || got.Ops[0][0].Tag != AnyTag {
+		t.Fatalf("wildcards mangled: %+v", got.Ops[0][0])
+	}
+}
+
+func TestBinaryHostileHeaders(t *testing.T) {
+	// Headers declaring absurd counts must fail fast with bounded
+	// memory (regression for the fuzz-found OOM).
+	cases := [][]byte{
+		// huge op count on rank 0
+		[]byte("CETR\x01\x00\x01\xff\xff\xff\xff\xff\xff\xff\xff\x7f"),
+		// huge rank count, no payload
+		[]byte("CETR\x01\x00\xff\xff\xff\x1f"),
+		// huge name length
+		[]byte("CETR\x01\xff\xff\xff\x7f"),
+	}
+	for i, data := range cases {
+		if _, err := ReadBinary(bytes.NewReader(data)); err == nil {
+			t.Fatalf("hostile header %d accepted", i)
+		}
+	}
+}
+
+func TestBinaryEmptyTraceRoundTrip(t *testing.T) {
+	tr := &Trace{Name: "empty", Ops: [][]Op{nil, nil, nil}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRanks() != 3 || got.NumOps() != 0 {
+		t.Fatalf("empty ranks mangled: %d/%d", got.NumRanks(), got.NumOps())
+	}
+}
+
+func TestTextLargeValues(t *testing.T) {
+	tr := &Trace{Ops: [][]Op{
+		{Calc(1 << 60), Send(1, 1<<40, 1<<20)},
+		{Recv(0, 1<<40, 1<<20)},
+	}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Ops[0][0].Dur != 1<<60 || got.Ops[0][1].Size != 1<<40 {
+		t.Fatalf("large values mangled: %+v", got.Ops[0])
+	}
+}

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// randomTrace builds a structurally valid random trace for round-trip
+// property tests.
+func randomTrace(r *rand.Rand, maxRanks, maxOps int) *Trace {
+	n := 1 + r.Intn(maxRanks)
+	t := &Trace{Name: "rand", Ops: make([][]Op, n)}
+	for rank := 0; rank < n; rank++ {
+		nOps := r.Intn(maxOps)
+		var ops []Op
+		req := int32(0)
+		var outstanding []int32
+		for i := 0; i < nOps; i++ {
+			switch r.Intn(8) {
+			case 0:
+				ops = append(ops, Calc(int64(r.Intn(1e6))))
+			case 1:
+				if n > 1 {
+					peer := int32(r.Intn(n))
+					if peer == int32(rank) {
+						peer = (peer + 1) % int32(n)
+					}
+					ops = append(ops, Send(peer, int64(r.Intn(1<<20)), int32(r.Intn(100))))
+				}
+			case 2:
+				ops = append(ops, Recv(AnySource, int64(r.Intn(1<<20)), AnyTag))
+			case 3:
+				if n > 1 {
+					peer := int32(r.Intn(n))
+					if peer == int32(rank) {
+						peer = (peer + 1) % int32(n)
+					}
+					ops = append(ops, Isend(peer, 64, 1, req))
+					outstanding = append(outstanding, req)
+					req++
+				}
+			case 4:
+				if len(outstanding) > 0 {
+					ops = append(ops, Wait(outstanding[0]))
+					outstanding = outstanding[1:]
+				}
+			case 5:
+				ops = append(ops, WaitAll())
+				outstanding = nil
+			case 6:
+				ops = append(ops, Bcast(int32(r.Intn(n)), int64(r.Intn(4096))))
+			case 7:
+				ops = append(ops, Allreduce(int64(r.Intn(4096))))
+			}
+		}
+		if len(outstanding) > 0 {
+			ops = append(ops, WaitAll())
+		}
+		t.Ops[rank] = ops
+	}
+	return t
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := twoRankPingPong()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("binary round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestBinaryRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 50; i++ {
+		tr := randomTrace(r, 8, 40)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatalf("iteration %d: round trip mismatch", i)
+		}
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	_, err := ReadBinary(strings.NewReader("NOPE not a trace"))
+	if err != ErrBadMagic {
+		t.Fatalf("got %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	tr := twoRankPingPong()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{1, 5, len(data) / 2, len(data) - 1} {
+		if _, err := ReadBinary(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestBinaryUnknownKind(t *testing.T) {
+	tr := &Trace{Ops: [][]Op{{{Kind: OpKind(99)}}}}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadBinary(&buf); err == nil {
+		t.Fatal("unknown kind not rejected on decode")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := &Trace{
+		Name: "mix",
+		Ops: [][]Op{
+			{Calc(10), Isend(1, 256, 3, 0), Irecv(1, 256, 4, 1), Wait(0), Wait(1),
+				Barrier(), Allreduce(16), Allgather(32), Alltoall(64),
+				Bcast(0, 8), Reduce(1, 8), Gather(0, 8), Scatter(1, 8), WaitAll()},
+			{Recv(0, 256, 3), Send(0, 256, 4),
+				Barrier(), Allreduce(16), Allgather(32), Alltoall(64),
+				Bcast(0, 8), Reduce(1, 8), Gather(0, 8), Scatter(1, 8)},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("text round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestTextComments(t *testing.T) {
+	in := `# a comment
+trace demo
+ranks 2
+
+rank 0
+  calc 100
+  send 1 8 0
+rank 1
+  recv 0 8 0
+`
+	tr, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name != "demo" || tr.NumRanks() != 2 || len(tr.Ops[0]) != 2 {
+		t.Fatalf("parsed trace wrong: %+v", tr)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	cases := []string{
+		"calc 5",                       // op before any header
+		"ranks 2\ncalc 5",              // op before rank header
+		"ranks 2\nrank 5\ncalc 1",      // rank out of range
+		"ranks 2\nrank 0\nbogus 1",     // unknown op
+		"ranks 2\nrank 0\nsend 1",      // missing args
+		"ranks 0",                      // bad rank count
+		"ranks 2\nrank 0\ncalc xyz",    // bad integer
+		"rank 0\ncalc 1",               // rank before ranks
+		"ranks 2\nrank 0\nsend 1 8 ab", // bad tag
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Fatalf("input %q accepted", in)
+		}
+	}
+}
+
+func TestTextEmpty(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("")); err != ErrEmptyTrace {
+		t.Fatalf("empty input: got %v, want ErrEmptyTrace", err)
+	}
+}
+
+// Property: binary round trip preserves arbitrary single ops with
+// wildcard-capable fields.
+func TestQuickBinaryOpRoundTrip(t *testing.T) {
+	f := func(peer, tag, req int32, size, dur uint32, kindSel uint8) bool {
+		kind := OpKind(kindSel % uint8(numOpKinds))
+		tr := &Trace{Ops: [][]Op{{{
+			Kind: kind, Peer: peer, Tag: tag, Req: req,
+			Size: int64(size), Dur: int64(dur),
+		}}}}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBinaryEncode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := randomTrace(r, 16, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBinaryDecode(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tr := randomTrace(r, 16, 200)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package tracegen
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScalingMode selects how a workload's per-rank problem size changes
+// with the rank count. The paper's traces are weak-scaled (fixed work
+// per process, the HPC default); strong scaling shrinks per-rank work
+// as ranks grow, which shortens the synchronization interval and makes
+// the application *more* sensitive to CE detours — a dimension worth
+// sweeping when budgeting reliability for capability runs.
+type ScalingMode int
+
+// Scaling modes.
+const (
+	// WeakScaling keeps the per-rank compute grain and halo volumes
+	// fixed (the default; matches the paper's traced runs).
+	WeakScaling ScalingMode = iota
+	// StrongScaling divides compute per rank by ranks/BaseRanks and
+	// shrinks halo messages by the surface-to-volume factor
+	// (ranks/BaseRanks)^(2/3 per dimension ratio, approximated as
+	// ^(dims-1)/dims).
+	StrongScaling
+)
+
+// ScaledSpec derives a Spec for the given rank count under a scaling
+// mode. baseRanks is the rank count at which the Spec's numbers hold
+// (the "traced" size). Weak scaling returns the spec unchanged.
+func ScaledSpec(spec Spec, mode ScalingMode, baseRanks, ranks int) (Spec, error) {
+	if baseRanks < 1 || ranks < 1 {
+		return Spec{}, fmt.Errorf("tracegen: rank counts must be positive (%d, %d)", baseRanks, ranks)
+	}
+	if mode == WeakScaling || ranks == baseRanks {
+		return spec, nil
+	}
+	if mode != StrongScaling {
+		return Spec{}, fmt.Errorf("tracegen: unknown scaling mode %d", mode)
+	}
+	factor := float64(ranks) / float64(baseRanks)
+	out := spec
+	// Volume per rank shrinks linearly with the rank count.
+	out.ComputeNs = int64(float64(spec.ComputeNs) / factor)
+	if out.ComputeNs < 1000 {
+		out.ComputeNs = 1000 // floor: 1 us steps
+	}
+	// Surface (halo) per rank shrinks with the (d-1)/d power of the
+	// per-rank volume ratio.
+	d := float64(spec.Dims)
+	surf := math.Pow(factor, (d-1)/d)
+	out.HaloBytes = int64(float64(spec.HaloBytes) / surf)
+	if out.HaloBytes < 8 {
+		out.HaloBytes = 8
+	}
+	return out, nil
+}

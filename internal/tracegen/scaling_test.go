@@ -1,0 +1,95 @@
+package tracegen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWeakScalingIdentity(t *testing.T) {
+	spec, err := Lookup("cth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ScaledSpec(spec, WeakScaling, 64, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != spec {
+		t.Fatal("weak scaling changed the spec")
+	}
+}
+
+func TestStrongScalingShrinksWork(t *testing.T) {
+	spec, err := Lookup("cth") // 3D
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ScaledSpec(spec, StrongScaling, 64, 512) // 8x ranks
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ComputeNs != spec.ComputeNs/8 {
+		t.Fatalf("compute = %d, want %d", out.ComputeNs, spec.ComputeNs/8)
+	}
+	// Surface factor: 8^(2/3) = 4.
+	want := int64(float64(spec.HaloBytes) / 4)
+	if math.Abs(float64(out.HaloBytes-want)) > 1 {
+		t.Fatalf("halo = %d, want ~%d", out.HaloBytes, want)
+	}
+	// Collective structure unchanged.
+	if out.AllreduceEvery != spec.AllreduceEvery || out.DotsPerIter != spec.DotsPerIter {
+		t.Fatal("scaling changed collective structure")
+	}
+}
+
+func TestStrongScalingFloors(t *testing.T) {
+	spec, err := Lookup("lammps-crack") // small grain already
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ScaledSpec(spec, StrongScaling, 1, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ComputeNs < 1000 || out.HaloBytes < 8 {
+		t.Fatalf("floors violated: %d ns, %d B", out.ComputeNs, out.HaloBytes)
+	}
+}
+
+func TestScaledSpecErrors(t *testing.T) {
+	spec, _ := Lookup("cth")
+	if _, err := ScaledSpec(spec, StrongScaling, 0, 8); err == nil {
+		t.Fatal("zero base accepted")
+	}
+	if _, err := ScaledSpec(spec, ScalingMode(9), 8, 16); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestStrongScaledTraceGenerates(t *testing.T) {
+	spec, err := Lookup("minife")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled, err := ScaledSpec(spec, StrongScaling, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := FromSpec(scaled, 64, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Strong-scaled iterations are cheaper: total compute per rank is
+	// ~1/8th of the weak-scaled trace.
+	weak, err := FromSpec(spec, 64, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ComputeStats().CalcNanos*7 > weak.ComputeStats().CalcNanos*2 {
+		t.Fatalf("strong scaling did not shrink compute: %d vs %d",
+			tr.ComputeStats().CalcNanos, weak.ComputeStats().CalcNanos)
+	}
+}
