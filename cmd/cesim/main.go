@@ -37,6 +37,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate every flag combination before any pipeline work, so a
+	// bad invocation dies with one clear line instead of whatever the
+	// trace generator or noise model reports downstream.
+	if err := validateFlags(*workload, *nodes, *iters, *mtbce, *perEvent, *system, *mode, *target, *reps); err != nil {
+		fatal(fmt.Errorf("cesim: %w", err))
+	}
 	mtbceNanos := int64(*mtbce)
 	if *system != "" {
 		sys, err := systems.ByName(*system)
@@ -52,12 +58,6 @@ func main() {
 			fatal(err)
 		}
 		perEventNanos = m.PerEventNanos
-	}
-	if mtbceNanos <= 0 {
-		fatal(fmt.Errorf("cesim: provide -mtbce or -system"))
-	}
-	if perEventNanos <= 0 {
-		fatal(fmt.Errorf("cesim: provide -perevent or -mode"))
 	}
 
 	exp, err := core.NewExperiment(core.ExperimentConfig{
@@ -105,6 +105,42 @@ func main() {
 	if werr != nil {
 		fatal(werr)
 	}
+}
+
+// validateFlags rejects inconsistent flag combinations up front.
+func validateFlags(workload string, nodes, iters int, mtbce, perEvent time.Duration, system, mode string, target, reps int) error {
+	if workload == "" {
+		return fmt.Errorf("-workload is required")
+	}
+	if nodes < 2 {
+		return fmt.Errorf("-nodes must be at least 2, got %d", nodes)
+	}
+	if iters < 1 {
+		return fmt.Errorf("-iters must be at least 1, got %d", iters)
+	}
+	switch {
+	case mtbce == 0 && system == "":
+		return fmt.Errorf("provide -mtbce or -system")
+	case mtbce != 0 && system != "":
+		return fmt.Errorf("-mtbce and -system are mutually exclusive")
+	case mtbce < 0:
+		return fmt.Errorf("-mtbce must be positive, got %s", mtbce)
+	}
+	switch {
+	case perEvent == 0 && mode == "":
+		return fmt.Errorf("provide -perevent or -mode")
+	case perEvent != 0 && mode != "":
+		return fmt.Errorf("-perevent and -mode are mutually exclusive")
+	case perEvent < 0:
+		return fmt.Errorf("-perevent must be positive, got %s", perEvent)
+	}
+	if target < int(noise.AllNodes) || target >= nodes {
+		return fmt.Errorf("-target must be -1 (all nodes) or a node in [0,%d), got %d", nodes, target)
+	}
+	if reps < 1 {
+		return fmt.Errorf("-reps must be at least 1, got %d", reps)
+	}
+	return nil
 }
 
 func fatal(err error) {

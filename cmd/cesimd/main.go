@@ -1,0 +1,112 @@
+// cesimd serves the CE-overhead simulator as an always-on HTTP/JSON
+// service: a bounded job queue and worker pool execute simulate and
+// sweep requests, a content-addressed cache memoizes noise-free
+// baselines across requests, and /metrics exposes counters, latency
+// histograms and cache effectiveness. See docs/SERVICE.md for the API.
+//
+// Examples:
+//
+//	cesimd -addr :8080
+//	cesimd -addr :8080 -workers 4 -queue 128 -cache-mb 512 -job-timeout 10m
+//
+//	curl -s localhost:8080/v1/systems | jq .
+//	curl -s -X POST localhost:8080/v1/simulate -d \
+//	  '{"workload":"lulesh","nodes":512,"system":"exascale-cielo-x10","mode":"firmware-emca"}'
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops, queued and
+// running jobs finish (up to -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/server"
+	"repro/internal/simcache"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
+		simWorkers   = flag.Int("sim-workers", 0, "per-job simulation fan-out (0 = GOMAXPROCS)")
+		queueDepth   = flag.Int("queue", 64, "bounded queue capacity (submissions beyond it get 429)")
+		jobTimeout   = flag.Duration("job-timeout", 15*time.Minute, "per-job deadline (0 = none)")
+		retain       = flag.Int("retain", 512, "finished jobs kept for polling")
+		cacheMB      = flag.Int("cache-mb", 256, "baseline cache bound in MiB")
+		maxNodes     = flag.Int("max-nodes", 16384, "largest accepted node count")
+		maxReps      = flag.Int("max-reps", 64, "largest accepted repetition count")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "shutdown grace for in-flight jobs")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "cesimd: ", log.LstdFlags)
+
+	queue := jobs.New(jobs.Config{
+		Workers:  *workers,
+		Capacity: *queueDepth,
+		Timeout:  *jobTimeout,
+		Retain:   *retain,
+	})
+	cache := simcache.New(int64(*cacheMB) << 20)
+	srv, err := server.New(server.Config{
+		Queue:      queue,
+		Cache:      cache,
+		SimWorkers: *simWorkers,
+		MaxNodes:   *maxNodes,
+		MaxReps:    *maxReps,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		logger.Printf("listening on %s (queue=%d, cache=%d MiB, job-timeout=%s)",
+			*addr, *queueDepth, *cacheMB, *jobTimeout)
+		serveErr <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
+		// Listen failure (e.g. port in use): nothing to drain.
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("signal received, draining (grace %s)", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := queue.Drain(dctx); err != nil {
+		logger.Printf("queue drain: %v (abandoning in-flight jobs)", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("serve: %v", err)
+	}
+
+	st := queue.Stats()
+	cs := cache.Stats()
+	logger.Printf("done: %d jobs (%d ok, %d failed, %d canceled), cache hit ratio %s",
+		st.Submitted, st.Succeeded, st.Failed, st.Canceled, fmt.Sprintf("%.2f", cs.HitRatio))
+}

@@ -5,6 +5,7 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -49,8 +50,20 @@ type Result struct {
 	Manifest *report.Table
 }
 
-// Run executes the campaign.
+// Run executes the campaign. It is RunContext with a background
+// context, kept for existing callers.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the campaign, checking ctx between artifacts so
+// a serving layer (e.g. a future cesimd /v1/reproduce job) can cancel
+// a long reproduction; the artifacts finished before cancellation stay
+// on disk.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if cfg.OutDir == "" {
 		return nil, fmt.Errorf("campaign: output directory required")
 	}
@@ -90,6 +103,9 @@ func Run(cfg Config) (*Result, error) {
 		Files: []string{"table2.txt", "table2.csv"}})
 
 	if want("2") {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		start = now()
 		_, t, err := core.Figure2(cfg.Options.Seed)
 		if err != nil {
@@ -110,6 +126,9 @@ func Run(cfg Config) (*Result, error) {
 	for _, id := range ids {
 		if !want(id) {
 			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		start = now()
 		f, err := core.Figures()[id](cfg.Options)

@@ -2,6 +2,8 @@ package campaign
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -102,5 +104,56 @@ func TestManifestContents(t *testing.T) {
 	}
 	if string(data) != out {
 		t.Fatal("written manifest differs from returned manifest")
+	}
+}
+
+func TestRunContextPreCanceled(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, Config{OutDir: dir, Options: tinyOptions()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("canceled campaign wrote artifacts: %v", entries)
+	}
+}
+
+// cancelAfter cancels the context once the progress log mentions a
+// marker, simulating a client abandoning a campaign mid-run.
+type cancelAfter struct {
+	marker string
+	cancel context.CancelFunc
+	buf    bytes.Buffer
+}
+
+func (c *cancelAfter) Write(p []byte) (int, error) {
+	c.buf.Write(p)
+	if strings.Contains(c.buf.String(), c.marker) {
+		c.cancel()
+	}
+	return len(p), nil
+}
+
+func TestRunContextCancelMidCampaign(t *testing.T) {
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	log := &cancelAfter{marker: "table2 done", cancel: cancel}
+	_, err := RunContext(ctx, Config{OutDir: dir, Options: tinyOptions(), Only: []string{"4"}, Log: log})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The artifact finished before cancellation stays on disk; the
+	// selected figure was never produced.
+	if _, err := os.Stat(filepath.Join(dir, "table2.txt")); err != nil {
+		t.Fatalf("pre-cancellation artifact missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig4.txt")); err == nil {
+		t.Fatal("figure produced after cancellation")
 	}
 }

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/loggopsim"
+	"repro/internal/netmodel"
+	"repro/internal/trace"
+)
+
+// Baseline bundles the expensive preparation products of an Experiment:
+// the collective-expanded trace and its noise-free simulation, plus the
+// rank count after decomposition adjustment. It is the unit memoized by
+// internal/simcache, so the many CE scenarios sharing one (workload,
+// nodes, iterations) point pay trace expansion and the baseline
+// simulation once instead of per request.
+type Baseline struct {
+	// Expanded is the collective-expanded trace. Simulations read it
+	// without mutating, so one Baseline may back many Experiments.
+	Expanded *trace.Trace
+	// Result is the noise-free simulation of Expanded.
+	Result *loggopsim.Result
+	// Ranks is the actual rank count after decomposition adjustment.
+	Ranks int
+}
+
+// Prepared exposes the experiment's baseline for caching or transfer.
+func (e *Experiment) Prepared() Baseline {
+	return Baseline{Expanded: e.expanded, Result: e.baseline, Ranks: e.ranks}
+}
+
+// NewExperimentFromBaseline builds an Experiment around a pre-built
+// baseline, skipping trace generation, collective expansion and the
+// baseline simulation. cfg must be the configuration the baseline was
+// prepared from (callers such as internal/simcache key baselines by
+// cfg.Canonical(), which guarantees this).
+func NewExperimentFromBaseline(cfg ExperimentConfig, b Baseline) (*Experiment, error) {
+	cfg = cfg.Canonical()
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("core: need at least 2 nodes, got %d", cfg.Nodes)
+	}
+	if cfg.Iterations < 1 {
+		return nil, fmt.Errorf("core: need at least 1 iteration, got %d", cfg.Iterations)
+	}
+	if b.Expanded == nil || b.Result == nil {
+		return nil, fmt.Errorf("core: baseline is missing its trace or result")
+	}
+	if b.Ranks != b.Expanded.NumRanks() {
+		return nil, fmt.Errorf("core: baseline rank count %d does not match its %d-rank trace",
+			b.Ranks, b.Expanded.NumRanks())
+	}
+	return &Experiment{cfg: cfg, expanded: b.Expanded, baseline: b.Result, ranks: b.Ranks}, nil
+}
+
+// Canonical returns the configuration with defaults resolved the same
+// way NewExperiment resolves them (a zero Net means Cray XC40), so two
+// configs that behave identically compare and hash identically.
+func (c ExperimentConfig) Canonical() ExperimentConfig {
+	if c.Net == (netmodel.Params{}) {
+		c.Net = netmodel.CrayXC40()
+	}
+	return c
+}

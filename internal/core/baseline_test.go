@@ -1,0 +1,87 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/netmodel"
+	"repro/internal/noise"
+)
+
+func TestPreparedRoundTrip(t *testing.T) {
+	cfg := ExperimentConfig{Workload: "minife", Nodes: 16, Iterations: 3, TraceSeed: 1}
+	built, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, err := NewExperimentFromBaseline(cfg, built.Prepared())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if injected.Ranks() != built.Ranks() {
+		t.Fatalf("ranks %d != %d", injected.Ranks(), built.Ranks())
+	}
+	if injected.Baseline().Makespan != built.Baseline().Makespan {
+		t.Fatalf("baseline makespan %d != %d",
+			injected.Baseline().Makespan, built.Baseline().Makespan)
+	}
+	if injected.Config() != built.Config() {
+		t.Fatalf("config drifted: %+v vs %+v", injected.Config(), built.Config())
+	}
+
+	sc := Scenario{MTBCE: 20 * nsPerMs, PerEvent: noise.Fixed(500 * nsPerUs), Target: noise.AllNodes, Seed: 7}
+	want, err := built.RunRepeated(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := injected.RunRepeated(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Sample.Values(), got.Sample.Values()) {
+		t.Fatalf("injected baseline diverged:\nbuilt    %v\ninjected %v",
+			want.Sample.Values(), got.Sample.Values())
+	}
+}
+
+func TestNewExperimentFromBaselineRejectsBadInput(t *testing.T) {
+	cfg := ExperimentConfig{Workload: "minife", Nodes: 16, Iterations: 3, TraceSeed: 1}
+	built, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := built.Prepared()
+	cases := []struct {
+		name string
+		cfg  ExperimentConfig
+		b    Baseline
+	}{
+		{"nil trace", cfg, Baseline{Result: b.Result, Ranks: b.Ranks}},
+		{"nil result", cfg, Baseline{Expanded: b.Expanded, Ranks: b.Ranks}},
+		{"rank mismatch", cfg, Baseline{Expanded: b.Expanded, Result: b.Result, Ranks: b.Ranks + 1}},
+		{"bad nodes", ExperimentConfig{Workload: "minife", Nodes: 1, Iterations: 3}, b},
+		{"bad iterations", ExperimentConfig{Workload: "minife", Nodes: 16}, b},
+	}
+	for _, tc := range cases {
+		if _, err := NewExperimentFromBaseline(tc.cfg, tc.b); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestCanonicalResolvesNetDefault(t *testing.T) {
+	zero := ExperimentConfig{Workload: "hpcg", Nodes: 32, Iterations: 2}
+	if zero.Canonical().Net != netmodel.CrayXC40() {
+		t.Fatal("zero Net not canonicalized to Cray XC40")
+	}
+	explicit := zero
+	explicit.Net = netmodel.CrayXC40()
+	if zero.Canonical() != explicit.Canonical() {
+		t.Fatal("equivalent configs canonicalize differently")
+	}
+	custom := zero
+	custom.Net = netmodel.Params{L: 1, O: 1, Gap: 1, GPerByte: 0.1, OPerByte: 0.1, S: 1}
+	if custom.Canonical().Net != custom.Net {
+		t.Fatal("explicit Net overwritten")
+	}
+}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/collectives"
@@ -56,9 +57,7 @@ func NewExperiment(cfg ExperimentConfig) (*Experiment, error) {
 	if cfg.Iterations < 1 {
 		return nil, fmt.Errorf("core: need at least 1 iteration, got %d", cfg.Iterations)
 	}
-	if cfg.Net == (netmodel.Params{}) {
-		cfg.Net = netmodel.CrayXC40()
-	}
+	cfg = cfg.Canonical()
 	ranks := tracegen.PreferredRanks(cfg.Workload, cfg.Nodes)
 	tr, err := tracegen.Generate(cfg.Workload, ranks, cfg.Iterations, cfg.TraceSeed)
 	if err != nil {
@@ -170,11 +169,20 @@ type Repeated struct {
 // sc.Seed+1, ... and collects the slowdown sample. A saturated scenario
 // short-circuits: the sample stays empty and Saturated is set.
 func (e *Experiment) RunRepeated(sc Scenario, reps int) (*Repeated, error) {
+	return e.runRepeatedSeq(context.Background(), sc, reps)
+}
+
+// runRepeatedSeq is the sequential repetition loop, checking ctx
+// between repetitions so long scenario batches can be canceled.
+func (e *Experiment) runRepeatedSeq(ctx context.Context, sc Scenario, reps int) (*Repeated, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("core: reps must be >= 1, got %d", reps)
 	}
 	out := &Repeated{}
 	for i := 0; i < reps; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sci := sc
 		sci.Seed = sc.Seed + uint64(i)
 		res, err := e.Run(sci)

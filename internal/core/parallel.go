@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -13,6 +14,14 @@ import (
 // results are accumulated in seed order, making the sample identical to
 // the sequential version. workers <= 0 selects GOMAXPROCS.
 func (e *Experiment) RunRepeatedParallel(sc Scenario, reps, workers int) (*Repeated, error) {
+	return e.RunRepeatedParallelContext(context.Background(), sc, reps, workers)
+}
+
+// RunRepeatedParallelContext is RunRepeatedParallel honoring a context:
+// cancellation or deadline expiry is observed between repetitions and
+// surfaces as ctx.Err(). With an unexpired context the result is
+// bit-identical to RunRepeated.
+func (e *Experiment) RunRepeatedParallelContext(ctx context.Context, sc Scenario, reps, workers int) (*Repeated, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("core: reps must be >= 1, got %d", reps)
 	}
@@ -23,7 +32,7 @@ func (e *Experiment) RunRepeatedParallel(sc Scenario, reps, workers int) (*Repea
 		workers = reps
 	}
 	if workers == 1 {
-		return e.RunRepeated(sc, reps)
+		return e.runRepeatedSeq(ctx, sc, reps)
 	}
 
 	type outcome struct {
@@ -32,6 +41,9 @@ func (e *Experiment) RunRepeatedParallel(sc Scenario, reps, workers int) (*Repea
 		err error
 	}
 	jobs := make(chan int)
+	// results is buffered to reps so workers never block on it: the
+	// collector may return early on the first error while the remaining
+	// workers finish their in-flight repetitions.
 	results := make(chan outcome, reps)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -39,6 +51,10 @@ func (e *Experiment) RunRepeatedParallel(sc Scenario, reps, workers int) (*Repea
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					results <- outcome{idx: i, err: err}
+					continue
+				}
 				sci := sc
 				sci.Seed = sc.Seed + uint64(i)
 				res, err := e.Run(sci)
@@ -47,12 +63,18 @@ func (e *Experiment) RunRepeatedParallel(sc Scenario, reps, workers int) (*Repea
 		}()
 	}
 	go func() {
+		defer func() {
+			close(jobs)
+			wg.Wait()
+			close(results)
+		}()
 		for i := 0; i < reps; i++ {
-			jobs <- i
+			select {
+			case jobs <- i:
+			case <-ctx.Done():
+				return
+			}
 		}
-		close(jobs)
-		wg.Wait()
-		close(results)
 	}()
 
 	collected := make([]outcome, 0, reps)
@@ -61,6 +83,11 @@ func (e *Experiment) RunRepeatedParallel(sc Scenario, reps, workers int) (*Repea
 			return nil, o.err
 		}
 		collected = append(collected, o)
+	}
+	// Cancellation between feeding and collection can leave the set
+	// short without any worker having observed ctx.Err() yet.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sort.Slice(collected, func(i, j int) bool { return collected[i].idx < collected[j].idx })
 

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"reflect"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/noise"
 )
@@ -60,6 +64,81 @@ func TestParallelBadReps(t *testing.T) {
 	e := smallExp(t, "minife")
 	if _, err := e.RunRepeatedParallel(Scenario{MTBCE: nsPerS, PerEvent: noise.Fixed(1)}, 0, 2); err == nil {
 		t.Fatal("0 reps accepted")
+	}
+}
+
+func TestParallelBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	e := smallExp(t, "minife")
+	sc := Scenario{
+		MTBCE: 15 * nsPerMs, PerEvent: noise.Fixed(300 * nsPerUs), Target: noise.AllNodes, Seed: 11,
+	}
+	const reps = 8
+	want, err := e.RunRepeated(sc, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, runtime.GOMAXPROCS(0)} {
+		got, err := e.RunRepeatedParallel(sc, reps, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want.Sample.Values(), got.Sample.Values()) {
+			t.Fatalf("workers=%d sample differs:\nseq %v\npar %v",
+				workers, want.Sample.Values(), got.Sample.Values())
+		}
+		if want.Saturated != got.Saturated {
+			t.Fatalf("workers=%d saturation flag differs", workers)
+		}
+	}
+}
+
+// TestParallelErrorSurfaces checks that a failing repetition returns
+// its error instead of hanging the fan-out machinery.
+func TestParallelErrorSurfaces(t *testing.T) {
+	e := smallExp(t, "minife")
+	// A negative MTBCE fails noise.Config.Validate inside every
+	// repetition.
+	sc := Scenario{MTBCE: -1, PerEvent: noise.Fixed(nsPerMs), Target: noise.AllNodes}
+	type result struct {
+		rep *Repeated
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := e.RunRepeatedParallel(sc, 8, 4)
+		done <- result{rep, err}
+	}()
+	select {
+	case r := <-done:
+		if r.err == nil {
+			t.Fatalf("failing repetition returned %+v without error", r.rep)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("failing repetition hung the parallel runner")
+	}
+}
+
+func TestParallelContextCanceled(t *testing.T) {
+	e := smallExp(t, "minife")
+	sc := Scenario{MTBCE: 50 * nsPerMs, PerEvent: noise.Fixed(nsPerMs), Target: noise.AllNodes, Seed: 3}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		if _, err := e.RunRepeatedParallelContext(ctx, sc, 6, workers); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	// An unexpired context must not change results.
+	rep, err := e.RunRepeatedParallelContext(context.Background(), sc, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := e.RunRepeated(sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Sample.Values(), rep.Sample.Values()) {
+		t.Fatal("context-aware run diverged from sequential")
 	}
 }
 

@@ -1,0 +1,364 @@
+// Package jobs is the daemon's execution engine: a bounded work queue
+// drained by a fixed worker pool, with per-job deadlines, cooperative
+// cancellation and a graceful drain for SIGTERM handling. Simulation
+// requests accepted by internal/server become jobs here; the heavy
+// lifting inside a job fans out further via core.RunRepeatedParallel.
+package jobs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Queued and Running are live; the rest are terminal.
+const (
+	Queued    State = "queued"
+	Running   State = "running"
+	Succeeded State = "succeeded"
+	Failed    State = "failed"
+	Canceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == Succeeded || s == Failed || s == Canceled
+}
+
+// Func is the work a job performs. It must honor ctx: the queue
+// cancels it on Cancel, on the per-job deadline, and never reuses it.
+// The returned value is stored as the job's result and must be
+// JSON-marshalable when served over HTTP.
+type Func func(ctx context.Context) (any, error)
+
+// Snapshot is an observer's copy of a job. Result is shared, not
+// deep-copied; treat it as read-only.
+type Snapshot struct {
+	ID       string     `json:"id"`
+	Kind     string     `json:"kind"`
+	State    State      `json:"state"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Result   any        `json:"result,omitempty"`
+}
+
+// Stats counts queue activity since construction.
+type Stats struct {
+	// Depth is the number of jobs waiting for a worker.
+	Depth int `json:"depth"`
+	// Capacity is the queue bound.
+	Capacity int `json:"capacity"`
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// Running is the number of jobs currently executing.
+	Running int `json:"running"`
+	// Submitted counts accepted jobs.
+	Submitted uint64 `json:"submitted"`
+	// Rejected counts submissions refused because the queue was full
+	// or draining.
+	Rejected uint64 `json:"rejected"`
+	// Succeeded, Failed and Canceled count terminal outcomes.
+	Succeeded uint64 `json:"succeeded"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+}
+
+// Config sizes the queue.
+type Config struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Capacity bounds the number of queued (not yet running) jobs;
+	// <= 0 selects 64. Submissions beyond it fail with ErrFull.
+	Capacity int
+	// Timeout is the per-job deadline measured from when a worker
+	// picks the job up; 0 means none.
+	Timeout time.Duration
+	// Retain bounds the number of finished jobs kept for polling;
+	// <= 0 selects 512. The oldest finished jobs are forgotten first.
+	Retain int
+}
+
+// Sentinel submission errors.
+var (
+	// ErrFull reports a bounded queue at capacity.
+	ErrFull = errors.New("jobs: queue full")
+	// ErrDraining reports a queue that stopped accepting work.
+	ErrDraining = errors.New("jobs: queue draining")
+)
+
+// job is the internal mutable record behind a Snapshot.
+type job struct {
+	id       string
+	kind     string
+	fn       Func
+	state    State
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	err      string
+	result   any
+	cancel   context.CancelFunc // set while running
+}
+
+// Queue runs submitted jobs on a worker pool. Construct with New.
+type Queue struct {
+	cfg  Config
+	work chan *job
+	wg   sync.WaitGroup
+	seq  atomic.Uint64
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	finished []string // ids in completion order, for retention
+	draining bool
+	running  int
+
+	submitted uint64
+	rejected  uint64
+	succeeded uint64
+	failed    uint64
+	canceled  uint64
+}
+
+// New builds the queue and starts its workers.
+func New(cfg Config) *Queue {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 64
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 512
+	}
+	q := &Queue{
+		cfg:  cfg,
+		work: make(chan *job, cfg.Capacity),
+		jobs: map[string]*job{},
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues fn and returns the new job's id. It never blocks:
+// a full queue returns ErrFull, a draining queue ErrDraining.
+func (q *Queue) Submit(kind string, fn Func) (string, error) {
+	j := &job{
+		id:      q.newID(),
+		kind:    kind,
+		fn:      fn,
+		state:   Queued,
+		created: time.Now(),
+	}
+	q.mu.Lock()
+	if q.draining {
+		q.rejected++
+		q.mu.Unlock()
+		return "", ErrDraining
+	}
+	select {
+	case q.work <- j:
+		q.jobs[j.id] = j
+		q.submitted++
+		q.mu.Unlock()
+		return j.id, nil
+	default:
+		q.rejected++
+		q.mu.Unlock()
+		return "", ErrFull
+	}
+}
+
+// newID returns a unique, unguessable job id.
+func (q *Queue) newID() string {
+	var r [6]byte
+	if _, err := rand.Read(r[:]); err != nil {
+		// crypto/rand failing is unrecoverable misconfiguration, but a
+		// sequence-only id keeps the queue functional.
+		return fmt.Sprintf("j%06d", q.seq.Add(1))
+	}
+	return fmt.Sprintf("j%06d-%s", q.seq.Add(1), hex.EncodeToString(r[:]))
+}
+
+// Get returns a snapshot of the job, or ok=false for unknown (or
+// forgotten) ids.
+func (q *Queue) Get(id string) (Snapshot, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	return snapshotLocked(j), true
+}
+
+func snapshotLocked(j *job) Snapshot {
+	s := Snapshot{
+		ID:      j.id,
+		Kind:    j.kind,
+		State:   j.state,
+		Created: j.created,
+		Error:   j.err,
+		Result:  j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		s.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		s.Finished = &t
+	}
+	return s
+}
+
+// Cancel asks the job to stop. A queued job is marked canceled and
+// skipped when a worker reaches it; a running job has its context
+// canceled and finishes when its Func returns. Cancel reports whether
+// the job existed and was still live.
+func (q *Queue) Cancel(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok || j.state.Terminal() {
+		return false
+	}
+	if j.state == Queued {
+		q.finishLocked(j, Canceled, context.Canceled)
+		return true
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	return true
+}
+
+// Depth returns the number of jobs waiting for a worker.
+func (q *Queue) Depth() int { return len(q.work) }
+
+// Stats returns a snapshot of the queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return Stats{
+		Depth:     len(q.work),
+		Capacity:  q.cfg.Capacity,
+		Workers:   q.cfg.Workers,
+		Running:   q.running,
+		Submitted: q.submitted,
+		Rejected:  q.rejected,
+		Succeeded: q.succeeded,
+		Failed:    q.failed,
+		Canceled:  q.canceled,
+	}
+}
+
+// Drain stops accepting submissions, lets queued and running jobs
+// finish, and returns when the pool is idle or ctx expires (the
+// workers keep finishing in the background in that case).
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	already := q.draining
+	q.draining = true
+	q.mu.Unlock()
+	if !already {
+		close(q.work)
+	}
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// worker drains the channel until Drain closes it.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.work {
+		q.run(j)
+	}
+}
+
+// run executes one job with its deadline attached.
+func (q *Queue) run(j *job) {
+	var (
+		ctx    context.Context
+		cancel context.CancelFunc
+	)
+	if q.cfg.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), q.cfg.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(context.Background())
+	}
+	defer cancel()
+
+	q.mu.Lock()
+	if j.state != Queued { // canceled while waiting
+		q.mu.Unlock()
+		return
+	}
+	j.state = Running
+	j.started = time.Now()
+	j.cancel = cancel
+	q.running++
+	q.mu.Unlock()
+
+	res, err := j.fn(ctx)
+
+	q.mu.Lock()
+	q.running--
+	j.cancel = nil
+	switch {
+	case err == nil:
+		j.result = res
+		q.finishLocked(j, Succeeded, nil)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		q.finishLocked(j, Canceled, err)
+	default:
+		q.finishLocked(j, Failed, err)
+	}
+	q.mu.Unlock()
+}
+
+// finishLocked moves a job to a terminal state and applies retention.
+// q.mu must be held.
+func (q *Queue) finishLocked(j *job, s State, err error) {
+	j.state = s
+	j.finished = time.Now()
+	if err != nil {
+		j.err = err.Error()
+	}
+	switch s {
+	case Succeeded:
+		q.succeeded++
+	case Failed:
+		q.failed++
+	case Canceled:
+		q.canceled++
+	}
+	q.finished = append(q.finished, j.id)
+	for len(q.finished) > q.cfg.Retain {
+		delete(q.jobs, q.finished[0])
+		q.finished = q.finished[1:]
+	}
+}

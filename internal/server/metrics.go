@@ -1,0 +1,182 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/simcache"
+)
+
+// histBoundsMs are the upper bounds (milliseconds) of the latency
+// histogram buckets, spanning cache-hit lookups (<1 ms) to paper-scale
+// sweeps (minutes); the implicit last bucket is +Inf.
+var histBoundsMs = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
+
+// hist is a fixed-bucket latency histogram. Guarded by Metrics.mu.
+type hist struct {
+	counts []uint64 // len(histBoundsMs)+1; last is +Inf
+	n      uint64
+	sumMs  float64
+	maxMs  float64
+}
+
+func newHist() *hist {
+	return &hist{counts: make([]uint64, len(histBoundsMs)+1)}
+}
+
+func (h *hist) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for i < len(histBoundsMs) && ms > histBoundsMs[i] {
+		i++
+	}
+	h.counts[i]++
+	h.n++
+	h.sumMs += ms
+	if ms > h.maxMs {
+		h.maxMs = ms
+	}
+}
+
+// HistBucket is one histogram bucket in a snapshot. LeMs <= 0 marks
+// the +Inf bucket.
+type HistBucket struct {
+	LeMs  float64 `json:"le_ms,omitempty"`
+	Count uint64  `json:"count"`
+}
+
+// HistSnapshot summarizes one latency histogram.
+type HistSnapshot struct {
+	Count   uint64       `json:"count"`
+	MeanMs  float64      `json:"mean_ms"`
+	MaxMs   float64      `json:"max_ms"`
+	Buckets []HistBucket `json:"buckets"`
+}
+
+func (h *hist) snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.n, MaxMs: h.maxMs}
+	if h.n > 0 {
+		s.MeanMs = h.sumMs / float64(h.n)
+	}
+	s.Buckets = make([]HistBucket, len(h.counts))
+	for i, c := range h.counts {
+		b := HistBucket{Count: c}
+		if i < len(histBoundsMs) {
+			b.LeMs = histBoundsMs[i]
+		}
+		s.Buckets[i] = b
+	}
+	return s
+}
+
+// Stage labels for per-stage latency histograms.
+const (
+	// StageHTTP is wall time per HTTP request (handler only — job
+	// execution is measured by the other stages).
+	StageHTTP = "http"
+	// StageBaseline is the simcache lookup-or-build step of a
+	// simulate job: ~free on a hit, the full trace expansion plus
+	// baseline simulation on a miss.
+	StageBaseline = "baseline"
+	// StageScenarios is the CE-scenario repetitions of a simulate job.
+	StageScenarios = "scenarios"
+	// StageJob is a job's total execution time, any kind.
+	StageJob = "job"
+)
+
+// Metrics aggregates the daemon's counters and histograms; all methods
+// are safe for concurrent use. Queue and cache gauges are read live at
+// snapshot time rather than duplicated here.
+type Metrics struct {
+	start time.Time
+
+	mu       sync.Mutex
+	requests map[string]uint64 // by route pattern
+	statuses map[string]uint64 // by status class ("2xx", ...)
+	stages   map[string]*hist
+}
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		start:    time.Now(),
+		requests: map[string]uint64{},
+		statuses: map[string]uint64{},
+		stages:   map[string]*hist{},
+	}
+}
+
+// Observe records one latency sample for a stage.
+func (m *Metrics) Observe(stage string, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.stages[stage]
+	if !ok {
+		h = newHist()
+		m.stages[stage] = h
+	}
+	h.observe(d)
+}
+
+// Request records one served HTTP request.
+func (m *Metrics) Request(route string, status int, d time.Duration) {
+	class := "2xx"
+	switch {
+	case status >= 500:
+		class = "5xx"
+	case status >= 400:
+		class = "4xx"
+	case status >= 300:
+		class = "3xx"
+	}
+	m.mu.Lock()
+	m.requests[route]++
+	m.statuses[class]++
+	h, ok := m.stages[StageHTTP]
+	if !ok {
+		h = newHist()
+		m.stages[StageHTTP] = h
+	}
+	h.observe(d)
+	m.mu.Unlock()
+}
+
+// Snapshot is the JSON document served on /metrics.
+type Snapshot struct {
+	UptimeSeconds float64                 `json:"uptime_s"`
+	Requests      map[string]uint64       `json:"requests"`
+	Statuses      map[string]uint64       `json:"statuses"`
+	Latency       map[string]HistSnapshot `json:"latency"`
+	Jobs          jobs.Stats              `json:"jobs"`
+	Cache         simcache.Stats          `json:"cache"`
+}
+
+// Snapshot captures all counters plus live queue and cache gauges.
+// q and c may be nil (their sections stay zero).
+func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache) Snapshot {
+	s := Snapshot{
+		UptimeSeconds: time.Since(m.start).Seconds(),
+		Requests:      map[string]uint64{},
+		Statuses:      map[string]uint64{},
+		Latency:       map[string]HistSnapshot{},
+	}
+	m.mu.Lock()
+	for k, v := range m.requests {
+		s.Requests[k] = v
+	}
+	for k, v := range m.statuses {
+		s.Statuses[k] = v
+	}
+	for k, h := range m.stages {
+		s.Latency[k] = h.snapshot()
+	}
+	m.mu.Unlock()
+	if q != nil {
+		s.Jobs = q.Stats()
+	}
+	if c != nil {
+		s.Cache = c.Stats()
+	}
+	return s
+}

@@ -1,0 +1,530 @@
+// Package server exposes the simulation pipeline as an HTTP/JSON
+// service: clients submit CE-overhead questions (one scenario or a
+// whole figure sweep), the server queues them on internal/jobs, reuses
+// noise-free baselines through internal/simcache, and serves results
+// and operational metrics. cmd/cesimd is the binary wrapper.
+//
+// Endpoints:
+//
+//	POST /v1/simulate   submit one (workload, scale, CE scenario) job
+//	POST /v1/sweep      submit a figure regeneration job ("3".."7")
+//	GET  /v1/jobs/{id}  poll a job; DELETE cancels it
+//	GET  /v1/systems    Table II catalog and logging modes
+//	GET  /v1/workloads  workload skeletons
+//	GET  /metrics       counters, latency histograms, queue and cache gauges
+//	GET  /healthz       liveness
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/jobs"
+	"repro/internal/noise"
+	"repro/internal/simcache"
+	"repro/internal/systems"
+	"repro/internal/tracegen"
+)
+
+// Config wires the server's dependencies and limits.
+type Config struct {
+	// Queue executes jobs; required.
+	Queue *jobs.Queue
+	// Cache memoizes baselines; required.
+	Cache *simcache.Cache
+	// SimWorkers is the per-job fan-out passed to
+	// core.RunRepeatedParallelContext; <= 0 selects GOMAXPROCS.
+	SimWorkers int
+	// MaxNodes bounds requested node counts (default 16384, the
+	// paper's largest simulated system).
+	MaxNodes int
+	// MaxIters bounds requested iteration counts (default 4096).
+	MaxIters int
+	// MaxReps bounds requested repetitions (default 64).
+	MaxReps int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxNodes <= 0 {
+		c.MaxNodes = 16384
+	}
+	if c.MaxIters <= 0 {
+		c.MaxIters = 4096
+	}
+	if c.MaxReps <= 0 {
+		c.MaxReps = 64
+	}
+	return c
+}
+
+// Server is the HTTP handler. Construct with New.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	metrics *Metrics
+}
+
+// New builds the handler around a queue and cache.
+func New(cfg Config) (*Server, error) {
+	if cfg.Queue == nil || cfg.Cache == nil {
+		return nil, fmt.Errorf("server: queue and cache are required")
+	}
+	s := &Server{cfg: cfg.withDefaults(), mux: http.NewServeMux(), metrics: NewMetrics()}
+	s.handle("GET /healthz", s.handleHealthz)
+	s.handle("GET /metrics", s.handleMetrics)
+	s.handle("GET /v1/systems", s.handleSystems)
+	s.handle("GET /v1/workloads", s.handleWorkloads)
+	s.handle("POST /v1/simulate", s.handleSimulate)
+	s.handle("POST /v1/sweep", s.handleSweep)
+	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
+	s.handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	return s, nil
+}
+
+// Metrics exposes the registry (cmd/cesimd logs a summary on exit).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// handle registers a route with request accounting. pattern must be
+// "METHOD /path" (Go 1.22 ServeMux syntax).
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		s.metrics.Request(pattern, rec.status, time.Since(start))
+	})
+}
+
+// writeJSON sends v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // header already sent; nothing useful to do on error
+}
+
+// errorBody is every non-2xx response payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"uptime_s": s.metrics.Snapshot(nil, nil).UptimeSeconds,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cfg.Queue, s.cfg.Cache))
+}
+
+// systemJSON is one Table II row on the wire.
+type systemJSON struct {
+	Name          string  `json:"name"`
+	Class         string  `json:"class"`
+	CEPerNodeYear float64 `json:"ce_per_node_year"`
+	GiBPerNode    float64 `json:"gib_per_node"`
+	CEPerGiBYear  float64 `json:"ce_per_gib_year"`
+	MTBCESeconds  float64 `json:"mtbce_s"`
+	MTBCENanos    int64   `json:"mtbce_ns"`
+	Nodes         int     `json:"nodes,omitempty"`
+	SimNodes      int     `json:"sim_nodes,omitempty"`
+}
+
+// modeJSON is one logging scenario on the wire.
+type modeJSON struct {
+	Name          string `json:"name"`
+	PerEventNanos int64  `json:"per_event_ns"`
+}
+
+func className(c systems.Class) string {
+	switch c {
+	case systems.DataCenter:
+		return "datacenter"
+	case systems.HPC:
+		return "hpc"
+	case systems.Exascale:
+		return "exascale"
+	}
+	return "unknown"
+}
+
+func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	var sys []systemJSON
+	for _, row := range systems.Catalog() {
+		sys = append(sys, systemJSON{
+			Name: row.Name, Class: className(row.Class),
+			CEPerNodeYear: row.CEPerNodeYear, GiBPerNode: row.GiBPerNode,
+			CEPerGiBYear: row.CEPerGiBYear, MTBCESeconds: row.MTBCESeconds,
+			MTBCENanos: row.MTBCENanos(), Nodes: row.Nodes, SimNodes: row.SimNodes,
+		})
+	}
+	var modes []modeJSON
+	for _, m := range systems.LoggingModes() {
+		modes = append(modes, modeJSON{Name: m.Name, PerEventNanos: m.PerEventNanos})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"systems": sys, "logging_modes": modes})
+}
+
+// workloadJSON is one skeleton spec on the wire.
+type workloadJSON struct {
+	Name           string  `json:"name"`
+	Dims           int     `json:"dims"`
+	HaloBytes      int64   `json:"halo_bytes"`
+	ComputeNanos   int64   `json:"compute_ns"`
+	ComputeJitter  float64 `json:"compute_jitter"`
+	AllreduceEvery int     `json:"allreduce_every"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []workloadJSON
+	for _, name := range tracegen.Names() {
+		spec, err := tracegen.Lookup(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "workload catalog: %v", err)
+			return
+		}
+		out = append(out, workloadJSON{
+			Name: spec.Name, Dims: spec.Dims, HaloBytes: spec.HaloBytes,
+			ComputeNanos: spec.ComputeNs, ComputeJitter: spec.ComputeJitter,
+			AllreduceEvery: spec.AllreduceEvery,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": out})
+}
+
+// SimulateRequest is the POST /v1/simulate body. Exactly one of
+// System/MTBCENanos and exactly one of Mode/PerEventNanos must be set,
+// mirroring cmd/cesim's flags.
+type SimulateRequest struct {
+	Workload string `json:"workload"`
+	Nodes    int    `json:"nodes"`
+	// Iters defaults to 8 (cmd/cesim's default).
+	Iters int `json:"iters,omitempty"`
+	// System names a Table II row supplying the MTBCE.
+	System string `json:"system,omitempty"`
+	// MTBCENanos is the per-node mean time between CEs.
+	MTBCENanos int64 `json:"mtbce_ns,omitempty"`
+	// Mode names a logging scenario supplying the per-event cost.
+	Mode string `json:"mode,omitempty"`
+	// PerEventNanos is the per-CE handling time.
+	PerEventNanos int64 `json:"per_event_ns,omitempty"`
+	// Target is the node experiencing CEs; nil or -1 means all nodes.
+	Target *int32 `json:"target,omitempty"`
+	// Seed defaults to 1.
+	Seed uint64 `json:"seed,omitempty"`
+	// Reps defaults to 3.
+	Reps int `json:"reps,omitempty"`
+}
+
+// SlowdownJSON summarizes the slowdown sample of a simulate job.
+type SlowdownJSON struct {
+	MeanPct float64 `json:"mean_pct"`
+	CI95Pct float64 `json:"ci95_pct"`
+	MinPct  float64 `json:"min_pct"`
+	MaxPct  float64 `json:"max_pct"`
+	N       int     `json:"n"`
+}
+
+// SimulateResult is a simulate job's stored result.
+type SimulateResult struct {
+	Workload              string        `json:"workload"`
+	Nodes                 int           `json:"nodes"`
+	Ranks                 int           `json:"ranks"`
+	Iters                 int           `json:"iters"`
+	MTBCENanos            int64         `json:"mtbce_ns"`
+	PerEventNanos         int64         `json:"per_event_ns"`
+	Target                int32         `json:"target"`
+	Reps                  int           `json:"reps"`
+	BaselineMakespanNanos int64         `json:"baseline_makespan_ns"`
+	Saturated             bool          `json:"saturated"`
+	Slowdown              *SlowdownJSON `json:"slowdown,omitempty"`
+	// CacheHit reports whether the baseline was resident (or already
+	// being built) when the job ran.
+	CacheHit bool `json:"cache_hit"`
+	// BaselineNanos and ScenariosNanos decompose the job's wall time.
+	BaselineNanos  int64 `json:"baseline_wall_ns"`
+	ScenariosNanos int64 `json:"scenarios_wall_ns"`
+}
+
+// resolve validates the request and produces the experiment config and
+// scenario it describes.
+func (s *Server) resolve(req *SimulateRequest) (core.ExperimentConfig, core.Scenario, error) {
+	var zc core.ExperimentConfig
+	var zs core.Scenario
+	if req.Workload == "" {
+		return zc, zs, fmt.Errorf("workload is required")
+	}
+	if _, err := tracegen.Lookup(req.Workload); err != nil {
+		return zc, zs, fmt.Errorf("unknown workload %q", req.Workload)
+	}
+	if req.Nodes < 2 || req.Nodes > s.cfg.MaxNodes {
+		return zc, zs, fmt.Errorf("nodes must be in [2, %d], got %d", s.cfg.MaxNodes, req.Nodes)
+	}
+	if req.Iters == 0 {
+		req.Iters = 8
+	}
+	if req.Iters < 1 || req.Iters > s.cfg.MaxIters {
+		return zc, zs, fmt.Errorf("iters must be in [1, %d], got %d", s.cfg.MaxIters, req.Iters)
+	}
+	if req.Reps == 0 {
+		req.Reps = 3
+	}
+	if req.Reps < 1 || req.Reps > s.cfg.MaxReps {
+		return zc, zs, fmt.Errorf("reps must be in [1, %d], got %d", s.cfg.MaxReps, req.Reps)
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+
+	mtbce := req.MTBCENanos
+	switch {
+	case req.System != "" && req.MTBCENanos != 0:
+		return zc, zs, fmt.Errorf("set system or mtbce_ns, not both")
+	case req.System != "":
+		sys, err := systems.ByName(req.System)
+		if err != nil {
+			return zc, zs, fmt.Errorf("unknown system %q", req.System)
+		}
+		mtbce = sys.MTBCENanos()
+	case req.MTBCENanos <= 0:
+		return zc, zs, fmt.Errorf("provide a positive mtbce_ns or a system name")
+	}
+
+	perEvent := req.PerEventNanos
+	switch {
+	case req.Mode != "" && req.PerEventNanos != 0:
+		return zc, zs, fmt.Errorf("set mode or per_event_ns, not both")
+	case req.Mode != "":
+		m, err := systems.LoggingModeByName(req.Mode)
+		if err != nil {
+			return zc, zs, fmt.Errorf("unknown logging mode %q", req.Mode)
+		}
+		perEvent = m.PerEventNanos
+	case req.PerEventNanos <= 0:
+		return zc, zs, fmt.Errorf("provide a positive per_event_ns or a mode name")
+	}
+
+	target := noise.AllNodes
+	if req.Target != nil {
+		target = *req.Target
+	}
+	if target < noise.AllNodes || (target >= 0 && int(target) >= req.Nodes) {
+		return zc, zs, fmt.Errorf("target %d outside [-1, %d)", target, req.Nodes)
+	}
+
+	cfg := core.ExperimentConfig{
+		Workload: req.Workload, Nodes: req.Nodes, Iterations: req.Iters, TraceSeed: req.Seed,
+	}
+	sc := core.Scenario{
+		MTBCE:    mtbce,
+		PerEvent: noise.Fixed(perEvent),
+		Target:   target,
+		Seed:     req.Seed + 1, // cmd/cesim offsets the CE seed the same way
+	}
+	return cfg, sc, nil
+}
+
+// submitted is the 202 response to a job submission.
+type submitted struct {
+	ID    string     `json:"id"`
+	State jobs.State `json:"state"`
+	Poll  string     `json:"poll"`
+}
+
+func (s *Server) submit(w http.ResponseWriter, kind string, fn jobs.Func) {
+	id, err := s.cfg.Queue.Submit(kind, fn)
+	switch {
+	case errors.Is(err, jobs.ErrFull):
+		writeError(w, http.StatusTooManyRequests, "queue full, retry later")
+		return
+	case errors.Is(err, jobs.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "submit: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitted{ID: id, State: jobs.Queued, Poll: "/v1/jobs/" + id})
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cfg, sc, err := s.resolve(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.submit(w, "simulate", func(ctx context.Context) (any, error) {
+		jobStart := time.Now()
+		exp, hit, err := s.cfg.Cache.GetOrBuild(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		baselineWall := time.Since(jobStart)
+		s.metrics.Observe(StageBaseline, baselineWall)
+
+		scStart := time.Now()
+		rep, err := exp.RunRepeatedParallelContext(ctx, sc, req.Reps, s.cfg.SimWorkers)
+		if err != nil {
+			return nil, err
+		}
+		scenariosWall := time.Since(scStart)
+		s.metrics.Observe(StageScenarios, scenariosWall)
+		s.metrics.Observe(StageJob, time.Since(jobStart))
+
+		res := &SimulateResult{
+			Workload: cfg.Workload, Nodes: cfg.Nodes, Ranks: exp.Ranks(), Iters: cfg.Iterations,
+			MTBCENanos: sc.MTBCE, PerEventNanos: int64(sc.PerEvent.(noise.Fixed)),
+			Target: sc.Target, Reps: req.Reps,
+			BaselineMakespanNanos: exp.Baseline().Makespan,
+			Saturated:             rep.Saturated,
+			CacheHit:              hit,
+			BaselineNanos:         int64(baselineWall),
+			ScenariosNanos:        int64(scenariosWall),
+		}
+		if rep.Sample.N() > 0 {
+			sum := rep.Sample.Summarize()
+			res.Slowdown = &SlowdownJSON{
+				MeanPct: sum.Mean, CI95Pct: sum.CI95,
+				MinPct: sum.Min, MaxPct: sum.Max, N: sum.N,
+			}
+		}
+		return res, nil
+	})
+}
+
+// SweepRequest is the POST /v1/sweep body: regenerate one evaluation
+// figure, optionally at reduced scale.
+type SweepRequest struct {
+	// Figure is "3", "4", "5", "6" or "7".
+	Figure string `json:"figure"`
+	// Scale is "reduced" (default) or "paper".
+	Scale string `json:"scale,omitempty"`
+	// Nodes, Iters, Reps and Seed override core.Options fields.
+	Nodes int    `json:"nodes,omitempty"`
+	Iters int    `json:"iters,omitempty"`
+	Reps  int    `json:"reps,omitempty"`
+	Seed  uint64 `json:"seed,omitempty"`
+	// Workloads restricts the workload set.
+	Workloads []string `json:"workloads,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	driver, ok := core.Figures()[req.Figure]
+	if !ok {
+		writeError(w, http.StatusBadRequest, "unknown figure %q (want 3..7)", req.Figure)
+		return
+	}
+	opts := core.Options{Nodes: req.Nodes, Iterations: req.Iters, Reps: req.Reps, Seed: req.Seed}
+	switch req.Scale {
+	case "", "reduced":
+		opts.Scale = core.Reduced
+	case "paper":
+		opts.Scale = core.Paper
+	default:
+		writeError(w, http.StatusBadRequest, "unknown scale %q", req.Scale)
+		return
+	}
+	if req.Nodes != 0 && (req.Nodes < 2 || req.Nodes > s.cfg.MaxNodes) {
+		writeError(w, http.StatusBadRequest, "nodes must be in [2, %d]", s.cfg.MaxNodes)
+		return
+	}
+	for _, wl := range req.Workloads {
+		if _, err := tracegen.Lookup(wl); err != nil {
+			writeError(w, http.StatusBadRequest, "unknown workload %q", wl)
+			return
+		}
+	}
+	opts.Workloads = req.Workloads
+	s.submit(w, "sweep", func(ctx context.Context) (any, error) {
+		// Figure drivers do not take a context yet; honor cancellation
+		// at the job boundary.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		f, err := driver(opts)
+		if err != nil {
+			return nil, err
+		}
+		s.metrics.Observe(StageJob, time.Since(start))
+		var buf bytes.Buffer
+		if err := f.WriteJSON(&buf); err != nil {
+			return nil, err
+		}
+		return json.RawMessage(buf.Bytes()), nil
+	})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	snap, ok := s.cfg.Queue.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.cfg.Queue.Cancel(id) {
+		writeJSON(w, http.StatusOK, map[string]any{"id": id, "canceled": true})
+		return
+	}
+	if snap, ok := s.cfg.Queue.Get(id); ok {
+		writeError(w, http.StatusConflict, "job %s already %s", id, snap.State)
+		return
+	}
+	writeError(w, http.StatusNotFound, "unknown job %q", id)
+}
+
+// maxBodyBytes bounds request bodies; simulation requests are tiny.
+const maxBodyBytes = 1 << 20
+
+// decodeBody parses a JSON request body strictly.
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}

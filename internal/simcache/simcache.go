@@ -1,0 +1,239 @@
+// Package simcache memoizes the expensive noise-free baseline of an
+// experiment — trace generation, collective expansion and the baseline
+// LogGOPS simulation — behind a content-addressed, size-bounded LRU
+// cache. The serving daemon (internal/server) evaluates many CE
+// scenarios against few distinct (workload, nodes, iterations) points;
+// with the cache, each point pays preparation once instead of per
+// request.
+//
+// Entries are keyed by a canonical hash of core.ExperimentConfig
+// (defaults resolved first, so configs that behave identically share an
+// entry). Concurrent requests for an absent key are coalesced: one
+// goroutine builds, the rest wait for its result.
+package simcache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Key returns the canonical content hash of a configuration. Two
+// configurations with the same key produce bit-identical baselines.
+func Key(cfg core.ExperimentConfig) string {
+	cfg = cfg.Canonical()
+	h := sha256.New()
+	fmt.Fprintf(h, "w=%s|n=%d|i=%d|s=%d|net=%d,%d,%d,%g,%g,%d|coll=%d,%d",
+		cfg.Workload, cfg.Nodes, cfg.Iterations, cfg.TraceSeed,
+		cfg.Net.L, cfg.Net.O, cfg.Net.Gap, cfg.Net.GPerByte, cfg.Net.OPerByte, cfg.Net.S,
+		cfg.Collectives.Allreduce, cfg.Collectives.RabenseifnerMin)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entryOverheadBytes accounts for the fixed parts of a cached baseline
+// (result struct, trace headers, list/map bookkeeping).
+const entryOverheadBytes = 4096
+
+// opBytes approximates the in-memory footprint of one trace operation
+// (29 payload bytes plus padding and slice overhead).
+const opBytes = 40
+
+// Cost estimates the resident size of a baseline in bytes. The
+// expanded trace dominates; per-rank state (finish times, op slices)
+// and a fixed overhead cover the rest.
+func Cost(b core.Baseline) int64 {
+	var ops int64
+	if b.Expanded != nil {
+		ops = int64(b.Expanded.NumOps())
+	}
+	return ops*opBytes + int64(b.Ranks)*64 + entryOverheadBytes
+}
+
+// DefaultCapBytes bounds the cache when New is given a non-positive
+// capacity: 256 MiB, roughly 50 mid-size (512-node) baselines.
+const DefaultCapBytes = 256 << 20
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	// Entries is the number of cached baselines.
+	Entries int `json:"entries"`
+	// SizeBytes is the estimated resident size of all entries.
+	SizeBytes int64 `json:"size_bytes"`
+	// CapBytes is the configured bound.
+	CapBytes int64 `json:"cap_bytes"`
+	// Hits counts lookups served from a resident entry.
+	Hits uint64 `json:"hits"`
+	// Coalesced counts lookups that waited on a concurrent build of
+	// the same key instead of building their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Misses counts lookups that built the baseline.
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries discarded to respect CapBytes.
+	Evictions uint64 `json:"evictions"`
+	// HitRatio is (Hits+Coalesced) / (Hits+Coalesced+Misses), 0 when
+	// no lookups have happened.
+	HitRatio float64 `json:"hit_ratio"`
+}
+
+// Builder produces the baseline for a configuration on a miss. It runs
+// outside the cache lock; the default is core.NewExperiment.
+type Builder func(cfg core.ExperimentConfig) (*core.Experiment, error)
+
+// Cache is a size-bounded LRU of prepared experiments. All methods are
+// safe for concurrent use.
+type Cache struct {
+	build Builder
+
+	mu       sync.Mutex
+	capBytes int64
+	size     int64
+	ll       *list.List // front = most recently used; values are *entry
+	entries  map[string]*list.Element
+	inflight map[string]*flight
+
+	hits      uint64
+	coalesced uint64
+	misses    uint64
+	evictions uint64
+}
+
+type entry struct {
+	key  string
+	exp  *core.Experiment
+	cost int64
+}
+
+// flight is one in-progress build, shared by every waiter for its key.
+type flight struct {
+	done chan struct{}
+	exp  *core.Experiment
+	err  error
+}
+
+// New returns a cache bounded to capBytes of estimated baseline size
+// (DefaultCapBytes when capBytes <= 0). The most recently inserted
+// entry is always retained, even when it alone exceeds the bound.
+func New(capBytes int64) *Cache {
+	if capBytes <= 0 {
+		capBytes = DefaultCapBytes
+	}
+	return &Cache{
+		build:    core.NewExperiment,
+		capBytes: capBytes,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+// SetBuilder replaces the baseline builder (tests use this to count or
+// fail builds). Not safe to call concurrently with lookups.
+func (c *Cache) SetBuilder(b Builder) { c.build = b }
+
+// Get returns the cached experiment for cfg without building, and
+// whether it was present.
+func (c *Cache) Get(cfg core.ExperimentConfig) (*core.Experiment, bool) {
+	key := Key(cfg)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry).exp, true
+}
+
+// GetOrBuild returns the experiment for cfg, building and inserting
+// the baseline on a miss. hit reports whether the baseline was already
+// resident or under construction by another goroutine; err is the
+// builder's error (not cached — a later lookup retries) or ctx.Err()
+// if the context expires while waiting on a concurrent build. The
+// build itself is not interrupted by ctx: the baseline stays useful
+// for every later request, so abandoning it would waste the work.
+func (c *Cache) GetOrBuild(ctx context.Context, cfg core.ExperimentConfig) (exp *core.Experiment, hit bool, err error) {
+	key := Key(cfg)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		c.mu.Unlock()
+		return el.Value.(*entry).exp, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.exp, true, f.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.misses++
+	c.mu.Unlock()
+
+	f.exp, f.err = c.build(cfg)
+	close(f.done)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insertLocked(key, f.exp)
+	}
+	c.mu.Unlock()
+	return f.exp, false, f.err
+}
+
+// insertLocked adds the entry at the LRU front and evicts from the
+// back until the size bound holds. c.mu must be held.
+func (c *Cache) insertLocked(key string, exp *core.Experiment) {
+	if _, ok := c.entries[key]; ok {
+		return // a racing build of the same key already inserted
+	}
+	e := &entry{key: key, exp: exp, cost: Cost(exp.Prepared())}
+	c.entries[key] = c.ll.PushFront(e)
+	c.size += e.cost
+	for c.size > c.capBytes && c.ll.Len() > 1 {
+		back := c.ll.Back()
+		ev := back.Value.(*entry)
+		c.ll.Remove(back)
+		delete(c.entries, ev.key)
+		c.size -= ev.cost
+		c.evictions++
+	}
+}
+
+// Len returns the number of cached baselines.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Stats{
+		Entries:   c.ll.Len(),
+		SizeBytes: c.size,
+		CapBytes:  c.capBytes,
+		Hits:      c.hits,
+		Coalesced: c.coalesced,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+	if total := s.Hits + s.Coalesced + s.Misses; total > 0 {
+		s.HitRatio = float64(s.Hits+s.Coalesced) / float64(total)
+	}
+	return s
+}
