@@ -12,6 +12,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"repro/internal/collectives"
 	"repro/internal/loggopsim"
@@ -46,6 +47,13 @@ type Experiment struct {
 	expanded *trace.Trace
 	baseline *loggopsim.Result
 	ranks    int
+
+	// sims pools reusable perturbed-run simulators (Profile enabled),
+	// so repeated runs — sequential repetition loops, parallel workers,
+	// and successive daemon jobs hitting the same cached Experiment —
+	// stop paying per-repetition state construction. See
+	// loggopsim.Simulator.
+	sims sync.Pool
 }
 
 // NewExperiment generates the trace, expands collectives and simulates
@@ -122,8 +130,33 @@ type RunResult struct {
 // scenarios are reported as saturated without simulating.
 const saturationLoad = 1.0
 
+// acquireSim returns a pooled perturbed-run simulator for the
+// experiment's expanded trace, building one on first use. Callers must
+// return it with releaseSim; a simulator serves one goroutine at a
+// time.
+func (e *Experiment) acquireSim() (*loggopsim.Simulator, error) {
+	if s, ok := e.sims.Get().(*loggopsim.Simulator); ok {
+		return s, nil
+	}
+	return loggopsim.NewSimulator(e.expanded, loggopsim.Config{Net: e.cfg.Net, Profile: true})
+}
+
+func (e *Experiment) releaseSim(s *loggopsim.Simulator) { e.sims.Put(s) }
+
 // Run simulates the experiment under one CE scenario.
 func (e *Experiment) Run(sc Scenario) (*RunResult, error) {
+	sim, err := e.acquireSim()
+	if err != nil {
+		return nil, err
+	}
+	defer e.releaseSim(sim)
+	return e.runOn(sim, sc)
+}
+
+// runOn evaluates one scenario on a prepared simulator. The repeated-
+// run loops share one simulator across repetitions so only the noise
+// model is rebuilt per seed.
+func (e *Experiment) runOn(sim *loggopsim.Simulator, sc Scenario) (*RunResult, error) {
 	ncfg := noise.Config{
 		Seed:             sc.Seed,
 		MTBCE:            sc.MTBCE,
@@ -144,7 +177,7 @@ func (e *Experiment) Run(sc Scenario) (*RunResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := loggopsim.Simulate(e.expanded, loggopsim.Config{Net: e.cfg.Net, Noise: nm, Profile: true})
+	res, err := sim.Run(nm)
 	if err != nil {
 		return nil, fmt.Errorf("core: perturbed simulation: %w", err)
 	}
@@ -158,26 +191,58 @@ func (e *Experiment) Run(sc Scenario) (*RunResult, error) {
 	}, nil
 }
 
-// Repeated is the aggregate of several repetitions of one scenario with
-// different CE seeds (the paper averages >= 8 runs per configuration).
+// Repeated is the aggregate of several repetitions of one scenario
+// with different CE seeds (the paper averages >= 8 runs per
+// configuration). Saturated repetitions — whether detected
+// analytically before simulating or by the saturation guard during a
+// run — contribute no slowdown to Sample: their makespans measure the
+// guard's cutoff, not application progress. SaturatedReps records how
+// many repetitions were excluded that way, so Sample.N() +
+// SaturatedReps == Reps always holds and a partial sample is
+// distinguishable from a short run.
 type Repeated struct {
-	Sample    stats.Sample
+	// Sample holds the slowdowns of the non-saturated repetitions.
+	Sample stats.Sample
+	// Saturated reports that at least one repetition saturated. When
+	// every repetition did (Sample.N() == 0), the scenario made no
+	// measurable progress at all.
 	Saturated bool
+	// SaturatedReps counts the repetitions excluded from Sample.
+	SaturatedReps int
+	// Reps is the number of repetitions executed.
+	Reps int
+}
+
+// add folds one repetition into the aggregate.
+func (r *Repeated) add(res *RunResult) {
+	r.Reps++
+	if res.Saturated {
+		r.Saturated = true
+		r.SaturatedReps++
+		return
+	}
+	r.Sample.Add(res.SlowdownPct)
 }
 
 // RunRepeated runs the scenario reps times with seeds sc.Seed,
-// sc.Seed+1, ... and collects the slowdown sample. A saturated scenario
-// short-circuits: the sample stays empty and Saturated is set.
+// sc.Seed+1, ... and collects the slowdown sample. See Repeated for
+// the saturation semantics.
 func (e *Experiment) RunRepeated(sc Scenario, reps int) (*Repeated, error) {
 	return e.runRepeatedSeq(context.Background(), sc, reps)
 }
 
 // runRepeatedSeq is the sequential repetition loop, checking ctx
-// between repetitions so long scenario batches can be canceled.
+// between repetitions so long scenario batches can be canceled. One
+// pooled simulator serves every repetition.
 func (e *Experiment) runRepeatedSeq(ctx context.Context, sc Scenario, reps int) (*Repeated, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("core: reps must be >= 1, got %d", reps)
 	}
+	sim, err := e.acquireSim()
+	if err != nil {
+		return nil, err
+	}
+	defer e.releaseSim(sim)
 	out := &Repeated{}
 	for i := 0; i < reps; i++ {
 		if err := ctx.Err(); err != nil {
@@ -185,17 +250,11 @@ func (e *Experiment) runRepeatedSeq(ctx context.Context, sc Scenario, reps int) 
 		}
 		sci := sc
 		sci.Seed = sc.Seed + uint64(i)
-		res, err := e.Run(sci)
+		res, err := e.runOn(sim, sci)
 		if err != nil {
 			return nil, err
 		}
-		if res.Saturated {
-			out.Saturated = true
-			if res.Perturbed == nil {
-				return out, nil // analytic saturation: no sample at all
-			}
-		}
-		out.Sample.Add(res.SlowdownPct)
+		out.add(res)
 	}
 	return out, nil
 }

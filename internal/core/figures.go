@@ -123,10 +123,16 @@ type Row struct {
 	MTBCENanos    int64  // per-node MTBCE actually simulated
 	PerEventNanos int64
 	Nodes         int
+	// Reps is the number of non-saturated repetitions behind MeanPct
+	// (the sample size); SaturatedReps counts repetitions excluded
+	// because the scenario made no progress.
 	Reps          int
+	SaturatedReps int
 	MeanPct       float64
 	CI95Pct       float64
-	Saturated     bool
+	// Saturated marks a row with no usable sample at all: every
+	// repetition saturated ("no-progress" in the rendered tables).
+	Saturated bool
 }
 
 // Figure is a regenerated table/figure.
@@ -144,6 +150,9 @@ func (f *Figure) Table() *report.Table {
 		slow := report.Pct(r.MeanPct)
 		if r.Saturated {
 			slow = "no-progress"
+		} else if r.SaturatedReps > 0 {
+			// Mean over the non-saturated repetitions only.
+			slow += fmt.Sprintf(" (%d sat)", r.SaturatedReps)
 		}
 		t.AddRow(r.Workload, r.System, r.Mode,
 			report.Nanos(r.MTBCENanos), report.Nanos(r.PerEventNanos),
@@ -238,10 +247,13 @@ func runRow(f *Figure, e *Experiment, opts Options, row Row, sc Scenario) error 
 	}
 	row.Nodes = e.Ranks()
 	row.Reps = rep.Sample.N()
+	row.SaturatedReps = rep.SaturatedReps
 	row.MTBCENanos = sc.MTBCE
 	row.MeanPct = rep.Sample.Mean()
 	row.CI95Pct = rep.Sample.CI95()
-	row.Saturated = rep.Saturated
+	// A partially saturated point still has a usable mean; only a fully
+	// saturated one is rendered as "no-progress".
+	row.Saturated = rep.Saturated && rep.Sample.N() == 0
 	f.Rows = append(f.Rows, row)
 	return nil
 }

@@ -50,14 +50,24 @@ func (e *Experiment) RunRepeatedParallelContext(ctx context.Context, sc Scenario
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pooled simulator per worker: repetitions reuse its
+			// preallocated event queue and per-rank state.
+			sim, simErr := e.acquireSim()
+			if simErr == nil {
+				defer e.releaseSim(sim)
+			}
 			for i := range jobs {
+				if simErr != nil {
+					results <- outcome{idx: i, err: simErr}
+					continue
+				}
 				if err := ctx.Err(); err != nil {
 					results <- outcome{idx: i, err: err}
 					continue
 				}
 				sci := sc
 				sci.Seed = sc.Seed + uint64(i)
-				res, err := e.Run(sci)
+				res, err := e.runOn(sim, sci)
 				results <- outcome{idx: i, res: res, err: err}
 			}
 		}()
@@ -93,15 +103,9 @@ func (e *Experiment) RunRepeatedParallelContext(ctx context.Context, sc Scenario
 
 	out := &Repeated{}
 	for _, o := range collected {
-		if o.res.Saturated {
-			out.Saturated = true
-			if o.res.Perturbed == nil {
-				// Analytic saturation is seed-independent: mirror the
-				// sequential short-circuit (empty sample).
-				return &Repeated{Saturated: true}, nil
-			}
-		}
-		out.Sample.Add(o.res.SlowdownPct)
+		// Seed-order accumulation with the same saturation semantics as
+		// the sequential loop keeps the two paths bit-identical.
+		out.add(o.res)
 	}
 	return out, nil
 }

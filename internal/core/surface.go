@@ -100,6 +100,7 @@ type jsonRow struct {
 	PerEventNanos int64   `json:"per_event_ns"`
 	Nodes         int     `json:"nodes"`
 	Reps          int     `json:"reps"`
+	SaturatedReps int     `json:"saturated_reps,omitempty"`
 	MeanPct       float64 `json:"mean_pct"`
 	CI95Pct       float64 `json:"ci95_pct"`
 	Saturated     bool    `json:"saturated,omitempty"`
@@ -112,7 +113,7 @@ func (f *Figure) WriteJSON(w io.Writer) error {
 		out.Rows[i] = jsonRow{
 			Workload: r.Workload, System: r.System, Mode: r.Mode,
 			MTBCENanos: r.MTBCENanos, PerEventNanos: r.PerEventNanos,
-			Nodes: r.Nodes, Reps: r.Reps,
+			Nodes: r.Nodes, Reps: r.Reps, SaturatedReps: r.SaturatedReps,
 			MeanPct: r.MeanPct, CI95Pct: r.CI95Pct, Saturated: r.Saturated,
 		}
 	}
@@ -133,7 +134,7 @@ func ReadFigureJSON(r io.Reader) (*Figure, error) {
 		f.Rows[i] = Row{
 			Workload: r.Workload, System: r.System, Mode: r.Mode,
 			MTBCENanos: r.MTBCENanos, PerEventNanos: r.PerEventNanos,
-			Nodes: r.Nodes, Reps: r.Reps,
+			Nodes: r.Nodes, Reps: r.Reps, SaturatedReps: r.SaturatedReps,
 			MeanPct: r.MeanPct, CI95Pct: r.CI95Pct, Saturated: r.Saturated,
 		}
 	}

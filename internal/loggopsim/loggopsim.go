@@ -183,7 +183,20 @@ type rankState struct {
 	unexpected []unexp
 }
 
-type sim struct {
+// Simulator is a reusable simulation engine bound to one expanded
+// trace. Construction (NewSimulator) validates the configuration and
+// preallocates the event queue, per-rank CPU/NIC timelines, match
+// queues and profile counters; Run then replays the trace as many
+// times as needed, reusing that state across calls. This makes the
+// repeated-run hot path — the paper averages >= 8 seeded runs per
+// (workload, system, scenario) point — nearly allocation-free: only
+// the per-run Result (finish times and, when enabled, the profile)
+// is freshly allocated so callers may retain results across runs.
+//
+// A Simulator is not safe for concurrent use; run one per goroutine.
+// Results are bit-identical to a fresh Simulate call with the same
+// trace, configuration and noise model.
+type Simulator struct {
 	cfg    Config
 	net    netmodel.Params
 	local  *netmodel.Params
@@ -199,11 +212,10 @@ type sim struct {
 	prof   *Profile // nil unless profiling
 }
 
-// Simulate runs the trace to completion and returns the result. The
-// trace must be collective-free (see collectives.Expand); a collective
-// op is reported as an error. Deadlocks and horizon timeouts return a
-// non-nil error alongside the partial result.
-func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
+// NewSimulator validates cfg and builds a reusable simulator for the
+// trace. The trace must be collective-free (see collectives.Expand)
+// and is read, never mutated, so several Simulators may share it.
+func NewSimulator(tr *trace.Trace, cfg Config) (*Simulator, error) {
 	n := tr.NumRanks()
 	if n == 0 {
 		return nil, trace.ErrEmptyTrace
@@ -223,36 +235,76 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 	if rpn < 0 {
 		return nil, fmt.Errorf("loggopsim: ranks per node must be positive, got %d", rpn)
 	}
-	s := &sim{
-		cfg:    cfg,
-		net:    cfg.Net,
-		local:  cfg.LocalNet,
-		rpn:    int32(rpn),
-		nic:    make([]int64, (n+rpn-1)/rpn),
-		noise:  cfg.Noise,
-		ranks:  make([]rankState, n),
-		q:      eventq.New(1024),
-		active: n,
-	}
-	if s.noise == nil {
-		s.noise = noise.None{}
+	s := &Simulator{
+		cfg:   cfg,
+		net:   cfg.Net,
+		local: cfg.LocalNet,
+		rpn:   int32(rpn),
+		nic:   make([]int64, (n+rpn-1)/rpn),
+		ranks: make([]rankState, n),
+		q:     eventq.New(1024),
 	}
 	s.extraL = cfg.ExtraLatency
 	if s.extraL == nil {
 		s.extraL = func(int32, int32) int64 { return 0 }
 	}
-	if cfg.Profile {
+	for r := range s.ranks {
+		s.ranks[r].ops = tr.Ops[r]
+	}
+	return s, nil
+}
+
+// Ranks returns the number of ranks the simulator was built for.
+func (s *Simulator) Ranks() int { return len(s.ranks) }
+
+// reset restores the preallocated state to time zero, keeping every
+// slice's capacity, and installs the noise model for the next run.
+func (s *Simulator) reset(nm noise.Model) {
+	if nm == nil {
+		nm = s.cfg.Noise
+	}
+	if nm == nil {
+		nm = noise.None{}
+	}
+	s.noise = nm
+	s.q.Reset()
+	for i := range s.nic {
+		s.nic[i] = 0
+	}
+	s.msgs = s.msgs[:0]
+	for r := range s.ranks {
+		st := &s.ranks[r]
+		st.pc = 0
+		st.clock = 0
+		st.block = notBlocked
+		st.blockReq = 0
+		st.blockMsg = -1
+		st.slots = st.slots[:0]
+		st.unexpected = st.unexpected[:0]
+	}
+	s.res = Result{}
+	s.active = len(s.ranks)
+	if s.cfg.Profile {
+		// Fresh profile per run: callers retain Result.Profile.
+		n := len(s.ranks)
 		s.prof = &Profile{
 			PerRankWork:   make([]int64, n),
 			PerRankDetour: make([]int64, n),
 			PerRankWait:   make([]int64, n),
 		}
 		s.res.Profile = s.prof
+	} else {
+		s.prof = nil
 	}
-	for r := range s.ranks {
-		s.ranks[r].ops = tr.Ops[r]
-		s.ranks[r].blockMsg = -1
-	}
+}
+
+// Run replays the trace under the given noise model (nil falls back to
+// Config.Noise, then to no noise) and returns a freshly allocated
+// result. Deadlocks and horizon timeouts return a non-nil error
+// alongside the partial result. Internal state is reset and reused
+// across calls; previously returned Results are never mutated.
+func (s *Simulator) Run(nm noise.Model) (*Result, error) {
+	s.reset(nm)
 	// Kick every rank at t=0.
 	for r := range s.ranks {
 		s.advance(int32(r))
@@ -260,10 +312,11 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 	for s.q.Len() > 0 {
 		e := s.q.Pop()
 		s.res.Events++
-		if cfg.MaxTime > 0 && e.Time > cfg.MaxTime {
+		if s.cfg.MaxTime > 0 && e.Time > s.cfg.MaxTime {
 			s.res.TimedOut = true
 			s.finishResult()
-			return &s.res, fmt.Errorf("loggopsim: horizon %dns exceeded at t=%dns", cfg.MaxTime, e.Time)
+			out := s.res
+			return &out, fmt.Errorf("loggopsim: horizon %dns exceeded at t=%dns", s.cfg.MaxTime, e.Time)
 		}
 		switch e.Kind {
 		case evEagerArrive:
@@ -279,15 +332,30 @@ func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
 		}
 	}
 	s.finishResult()
+	out := s.res
 	if s.active > 0 {
-		s.res.Deadlocked = true
-		return &s.res, fmt.Errorf("loggopsim: deadlock, %d ranks blocked (first: rank %d at op %d)",
+		out.Deadlocked = true
+		return &out, fmt.Errorf("loggopsim: deadlock, %d ranks blocked (first: rank %d at op %d)",
 			s.active, s.firstBlocked(), s.ranks[s.firstBlocked()].pc)
 	}
-	return &s.res, nil
+	return &out, nil
 }
 
-func (s *sim) firstBlocked() int32 {
+// Simulate runs the trace to completion and returns the result. The
+// trace must be collective-free (see collectives.Expand); a collective
+// op is reported as an error. Deadlocks and horizon timeouts return a
+// non-nil error alongside the partial result. One-shot convenience
+// wrapper; repeated-run callers should build a Simulator once and Run
+// it per seed.
+func Simulate(tr *trace.Trace, cfg Config) (*Result, error) {
+	s, err := NewSimulator(tr, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(cfg.Noise)
+}
+
+func (s *Simulator) firstBlocked() int32 {
 	for r := range s.ranks {
 		if s.ranks[r].block != finished {
 			return int32(r)
@@ -296,7 +364,7 @@ func (s *sim) firstBlocked() int32 {
 	return 0
 }
 
-func (s *sim) finishResult() {
+func (s *Simulator) finishResult() {
 	s.res.FinishTimes = make([]int64, len(s.ranks))
 	for r := range s.ranks {
 		s.res.FinishTimes[r] = s.ranks[r].clock
@@ -309,7 +377,7 @@ func (s *sim) finishResult() {
 // extend charges CPU work on a rank, stretched by noise detours. When
 // the start time is beyond the rank's current clock the difference is
 // blocked (waiting) time.
-func (s *sim) extend(rank int32, start, dur int64) int64 {
+func (s *Simulator) extend(rank int32, start, dur int64) int64 {
 	end := s.noise.Extend(rank, start, dur)
 	if s.prof != nil {
 		s.prof.Work += dur
@@ -326,11 +394,11 @@ func (s *sim) extend(rank int32, start, dur int64) int64 {
 }
 
 // nodeOf maps a rank to its node.
-func (s *sim) nodeOf(rank int32) int32 { return rank / s.rpn }
+func (s *Simulator) nodeOf(rank int32) int32 { return rank / s.rpn }
 
 // pair returns the parameter set for a message between two ranks:
 // LocalNet for co-located ranks when configured, Net otherwise.
-func (s *sim) pair(a, b int32) *netmodel.Params {
+func (s *Simulator) pair(a, b int32) *netmodel.Params {
 	if s.local != nil && s.nodeOf(a) == s.nodeOf(b) {
 		return s.local
 	}
@@ -339,7 +407,7 @@ func (s *sim) pair(a, b int32) *netmodel.Params {
 
 // inject reserves the sender's node NIC for a message of size bytes
 // that is ready at time ready, and returns the injection time.
-func (s *sim) inject(rank int32, ready int64, p *netmodel.Params, size int64) int64 {
+func (s *Simulator) inject(rank int32, ready int64, p *netmodel.Params, size int64) int64 {
 	node := s.nodeOf(rank)
 	inj := ready
 	if s.nic[node] > inj {
@@ -350,7 +418,7 @@ func (s *sim) inject(rank int32, ready int64, p *netmodel.Params, size int64) in
 }
 
 // advance executes ops on rank r until it blocks or finishes.
-func (s *sim) advance(r int32) {
+func (s *Simulator) advance(r int32) {
 	st := &s.ranks[r]
 	st.block = notBlocked
 	for st.pc < len(st.ops) {
@@ -395,7 +463,7 @@ func (s *sim) advance(r int32) {
 
 // startSend executes a blocking send. Returns false when the rank blocks
 // (rendezvous waiting for CTS).
-func (s *sim) startSend(r int32, op *trace.Op, _ int32) bool {
+func (s *Simulator) startSend(r int32, op *trace.Op, _ int32) bool {
 	st := &s.ranks[r]
 	p := s.pair(r, op.Peer)
 	if p.Eager(op.Size) {
@@ -418,7 +486,7 @@ func (s *sim) startSend(r int32, op *trace.Op, _ int32) bool {
 }
 
 // startIsend executes a nonblocking send; the rank never blocks here.
-func (s *sim) startIsend(r int32, op *trace.Op) {
+func (s *Simulator) startIsend(r int32, op *trace.Op) {
 	st := &s.ranks[r]
 	p := s.pair(r, op.Peer)
 	if p.Eager(op.Size) {
@@ -438,7 +506,7 @@ func (s *sim) startIsend(r int32, op *trace.Op) {
 	s.addSlot(st, slot{req: op.Req, peer: op.Peer, tag: op.Tag, size: op.Size, active: true})
 }
 
-func (s *sim) addSlot(st *rankState, sl slot) int32 {
+func (s *Simulator) addSlot(st *rankState, sl slot) int32 {
 	// Reuse an inactive slot if available to bound growth.
 	for i := range st.slots {
 		if !st.slots[i].active {
@@ -452,7 +520,7 @@ func (s *sim) addSlot(st *rankState, sl slot) int32 {
 
 // matchUnexpected finds the earliest-arrived unexpected message matching
 // (peer, tag) and removes it.
-func (s *sim) matchUnexpected(st *rankState, peer, tag int32) (unexp, bool) {
+func (s *Simulator) matchUnexpected(st *rankState, peer, tag int32) (unexp, bool) {
 	for i := range st.unexpected {
 		u := st.unexpected[i]
 		if (peer == trace.AnySource || peer == u.src) && (tag == trace.AnyTag || tag == u.tag) {
@@ -464,7 +532,7 @@ func (s *sim) matchUnexpected(st *rankState, peer, tag int32) (unexp, bool) {
 }
 
 // startRecv executes a blocking receive. Returns false when blocked.
-func (s *sim) startRecv(r int32, op *trace.Op) bool {
+func (s *Simulator) startRecv(r int32, op *trace.Op) bool {
 	st := &s.ranks[r]
 	if u, ok := s.matchUnexpected(st, op.Peer, op.Tag); ok {
 		if u.msg < 0 {
@@ -492,7 +560,7 @@ func (s *sim) startRecv(r int32, op *trace.Op) bool {
 }
 
 // postIrecv posts a nonblocking receive and tries to match immediately.
-func (s *sim) postIrecv(r int32, op *trace.Op) {
+func (s *Simulator) postIrecv(r int32, op *trace.Op) {
 	st := &s.ranks[r]
 	if u, ok := s.matchUnexpected(st, op.Peer, op.Tag); ok {
 		if u.msg < 0 {
@@ -522,7 +590,7 @@ func findSlotByReq(st *rankState, req int32) int32 {
 }
 
 // doWait completes a single request. Returns false when blocked.
-func (s *sim) doWait(r int32, req int32) bool {
+func (s *Simulator) doWait(r int32, req int32) bool {
 	st := &s.ranks[r]
 	idx := findSlotByReq(st, req)
 	if idx < 0 {
@@ -547,7 +615,7 @@ func (s *sim) doWait(r int32, req int32) bool {
 
 // waitUntil advances a rank's clock to a completion time, accounting
 // the gap as blocked time.
-func (s *sim) waitUntil(r int32, till int64) {
+func (s *Simulator) waitUntil(r int32, till int64) {
 	st := &s.ranks[r]
 	if till <= st.clock {
 		return
@@ -562,7 +630,7 @@ func (s *sim) waitUntil(r int32, till int64) {
 // recvParams picks the parameter set for a completed receive slot; a
 // wildcard-source slot that matched a local sender keeps Net (the
 // conservative choice, and wildcards are rare in generated traces).
-func (s *sim) recvParams(sl *slot, r int32) *netmodel.Params {
+func (s *Simulator) recvParams(sl *slot, r int32) *netmodel.Params {
 	if sl.peer == trace.AnySource {
 		return &s.net
 	}
@@ -571,7 +639,7 @@ func (s *sim) recvParams(sl *slot, r int32) *netmodel.Params {
 
 // doWaitAll completes all outstanding requests. Returns false when any
 // is still pending.
-func (s *sim) doWaitAll(r int32) bool {
+func (s *Simulator) doWaitAll(r int32) bool {
 	st := &s.ranks[r]
 	for i := range st.slots {
 		if st.slots[i].active && !st.slots[i].done {
@@ -595,7 +663,7 @@ func (s *sim) doWaitAll(r int32) bool {
 }
 
 // eagerArrive delivers an eager payload at dst.
-func (s *sim) eagerArrive(dst int32, src int32, size int64, tag int32, arr int64) {
+func (s *Simulator) eagerArrive(dst int32, src int32, size int64, tag int32, arr int64) {
 	st := &s.ranks[dst]
 	// A blocked receive waiting for a match?
 	if st.block == blockedRecv && st.blockMsg == -1 {
@@ -630,7 +698,7 @@ func (s *sim) eagerArrive(dst int32, src int32, size int64, tag int32, arr int64
 }
 
 // rtsArrive processes a rendezvous request at the destination.
-func (s *sim) rtsArrive(msgIdx int32, arr int64) {
+func (s *Simulator) rtsArrive(msgIdx int32, arr int64) {
 	m := &s.msgs[msgIdx]
 	m.rtsATime = arr
 	st := &s.ranks[m.dst]
@@ -662,7 +730,7 @@ func (s *sim) rtsArrive(msgIdx int32, arr int64) {
 }
 
 // ctsArrive resumes the sender of a rendezvous message.
-func (s *sim) ctsArrive(msgIdx int32, arr int64) {
+func (s *Simulator) ctsArrive(msgIdx int32, arr int64) {
 	m := &s.msgs[msgIdx]
 	st := &s.ranks[m.src]
 	p := s.pair(m.src, m.dst)
@@ -689,7 +757,7 @@ func (s *sim) ctsArrive(msgIdx int32, arr int64) {
 }
 
 // dataArrive delivers a rendezvous payload.
-func (s *sim) dataArrive(msgIdx int32, arr int64) {
+func (s *Simulator) dataArrive(msgIdx int32, arr int64) {
 	m := &s.msgs[msgIdx]
 	m.dataATime = arr
 	st := &s.ranks[m.dst]
@@ -710,7 +778,7 @@ func (s *sim) dataArrive(msgIdx int32, arr int64) {
 
 // maybeUnblockWait resumes a rank blocked in Wait/WaitAll if the newly
 // completed request satisfies it.
-func (s *sim) maybeUnblockWait(r int32, req int32) {
+func (s *Simulator) maybeUnblockWait(r int32, req int32) {
 	st := &s.ranks[r]
 	switch st.block {
 	case blockedWait:

@@ -1,0 +1,58 @@
+package noise
+
+// Regression tests for degenerate arrival processes. NaN compares
+// false against every bound, so a NaN mean gap used to slip through
+// both Validate (NaN <= 0 is false) and the analytic saturation guard
+// in core (NaN >= 1 is false), silently simulating a meaningless
+// configuration.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// gapStub is an Arrivals implementation with a fixed reported mean gap,
+// standing in for a buggy or misconfigured custom process.
+type gapStub float64
+
+func (g gapStub) NextGap(*rng.Source, *uint64) int64 { return 1 * ms }
+func (g gapStub) MeanGap() float64                   { return float64(g) }
+func (g gapStub) String() string                     { return "stub" }
+
+func TestValidateRejectsDegenerateMeanGaps(t *testing.T) {
+	for _, mg := range []float64{math.NaN(), 0, -5 * float64(ms), math.Inf(1), math.Inf(-1)} {
+		cfg := Config{Arrivals: gapStub(mg), Duration: Fixed(1 * ms), Target: AllNodes}
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mean gap %v accepted by Validate", mg)
+		}
+		if _, err := NewCE(4, cfg); err == nil {
+			t.Errorf("mean gap %v accepted by NewCE", mg)
+		}
+	}
+}
+
+func TestValidateAcceptsFiniteMeanGap(t *testing.T) {
+	cfg := Config{Arrivals: gapStub(20 * float64(ms)), Duration: Fixed(1 * ms), Target: AllNodes}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("finite positive mean gap rejected: %v", err)
+	}
+}
+
+func TestLoadFactorFailsSafeOnDegenerateGap(t *testing.T) {
+	for _, mg := range []float64{math.NaN(), 0, -1} {
+		cfg := Config{Arrivals: gapStub(mg), Duration: Fixed(1 * ms), Target: AllNodes}
+		lf := cfg.LoadFactor()
+		// +Inf trips any `lf >= threshold` saturation guard; NaN would
+		// slip every comparison.
+		if !math.IsInf(lf, 1) {
+			t.Errorf("LoadFactor with mean gap %v = %v, want +Inf", mg, lf)
+		}
+	}
+	// Sanity: a real configuration still reports rho = E[D]/E[gap].
+	cfg := Config{MTBCE: 100 * ms, Duration: Fixed(50 * ms), Target: AllNodes}
+	if lf := cfg.LoadFactor(); math.Abs(lf-0.5) > 1e-12 {
+		t.Fatalf("LoadFactor = %v, want 0.5", lf)
+	}
+}

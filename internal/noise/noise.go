@@ -23,6 +23,7 @@ package noise
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 )
@@ -145,8 +146,16 @@ func (c Config) Validate() error {
 	if c.Arrivals == nil && c.MTBCE <= 0 {
 		return fmt.Errorf("noise: MTBCE must be positive, got %d", c.MTBCE)
 	}
-	if c.Arrivals != nil && c.Arrivals.MeanGap() <= 0 {
-		return fmt.Errorf("noise: arrival process %v has non-positive mean gap", c.Arrivals)
+	if c.Arrivals != nil {
+		// A custom process must report a positive, finite mean gap:
+		// NaN compares false against every bound and would otherwise
+		// slip through both this check and the saturation guard in
+		// core (NaN >= 1 is false), and an infinite or non-positive
+		// gap makes the load factor meaningless.
+		mg := c.Arrivals.MeanGap()
+		if math.IsNaN(mg) || math.IsInf(mg, 0) || mg <= 0 {
+			return fmt.Errorf("noise: arrival process %v must have a positive finite mean gap, got %v", c.Arrivals, mg)
+		}
 	}
 	if c.Duration == nil {
 		return fmt.Errorf("noise: nil duration model")
@@ -162,9 +171,16 @@ func (c Config) Validate() error {
 
 // LoadFactor returns the long-run fraction of CPU time consumed by CE
 // handling, rho = E[D] / E[inter-arrival]. Values >= 1 mean the node
-// cannot make forward progress.
+// cannot make forward progress. A degenerate arrival process (NaN or
+// non-positive mean gap — rejected by Validate, but callers may skip
+// it) reports +Inf so saturation guards comparing against a threshold
+// fail safe instead of letting NaN slip past.
 func (c Config) LoadFactor() float64 {
-	return c.Duration.Mean() / c.arrivals().MeanGap()
+	mg := c.arrivals().MeanGap()
+	if math.IsNaN(mg) || mg <= 0 {
+		return math.Inf(1)
+	}
+	return c.Duration.Mean() / mg
 }
 
 // nodeState is the lazily generated arrival stream of one node.
@@ -179,6 +195,12 @@ type nodeState struct {
 // CE is the correctable-error detour model.
 type CE struct {
 	cfg Config
+	// arr is the effective arrival process, resolved once at
+	// construction: converting Config.MTBCE to a Poisson value inside
+	// Extend would box it into the Arrivals interface on every call —
+	// one heap allocation per CPU-busy interval, dominating the
+	// simulator's allocation profile.
+	arr Arrivals
 	// nodes is indexed by node id; states are created on first use.
 	nodes []nodeState
 
@@ -200,7 +222,7 @@ func NewCE(n int, cfg Config) (*CE, error) {
 	if cfg.SaturationFactor == 0 {
 		cfg.SaturationFactor = 10000
 	}
-	return &CE{cfg: cfg, nodes: make([]nodeState, n)}, nil
+	return &CE{cfg: cfg, arr: cfg.arrivals(), nodes: make([]nodeState, n)}, nil
 }
 
 // Extend implements Model. The rank's CPU timeline must be queried with
@@ -211,7 +233,7 @@ func (m *CE) Extend(node int32, start, dur int64) int64 {
 		return start + dur
 	}
 	st := &m.nodes[node]
-	arr := m.cfg.arrivals()
+	arr := m.arr
 	if !st.started {
 		st.src = rng.NewStream(m.cfg.Seed, uint64(node))
 		st.next = arr.NextGap(st.src, &st.arrState)

@@ -245,12 +245,16 @@ type SimulateRequest struct {
 	Reps int `json:"reps,omitempty"`
 }
 
-// SlowdownJSON summarizes the slowdown sample of a simulate job.
+// SlowdownJSON summarizes the slowdown sample of a simulate job. It is
+// present only when at least one repetition produced a usable slowdown
+// (saturated repetitions are excluded from the sample).
 type SlowdownJSON struct {
 	MeanPct float64 `json:"mean_pct"`
 	CI95Pct float64 `json:"ci95_pct"`
 	MinPct  float64 `json:"min_pct"`
 	MaxPct  float64 `json:"max_pct"`
+	P50Pct  float64 `json:"p50_pct"`
+	P95Pct  float64 `json:"p95_pct"`
 	N       int     `json:"n"`
 }
 
@@ -266,6 +270,7 @@ type SimulateResult struct {
 	Reps                  int           `json:"reps"`
 	BaselineMakespanNanos int64         `json:"baseline_makespan_ns"`
 	Saturated             bool          `json:"saturated"`
+	SaturatedReps         int           `json:"saturated_reps,omitempty"`
 	Slowdown              *SlowdownJSON `json:"slowdown,omitempty"`
 	// CacheHit reports whether the baseline was resident (or already
 	// being built) when the job ran.
@@ -411,15 +416,29 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			Target: sc.Target, Reps: req.Reps,
 			BaselineMakespanNanos: exp.Baseline().Makespan,
 			Saturated:             rep.Saturated,
+			SaturatedReps:         rep.SaturatedReps,
 			CacheHit:              hit,
 			BaselineNanos:         int64(baselineWall),
 			ScenariosNanos:        int64(scenariosWall),
 		}
+		// A fully saturated scenario legitimately has an empty sample;
+		// Quantile (unlike Percentile) cannot panic the job on it, so
+		// an all-saturated result serializes cleanly with Slowdown
+		// omitted instead of failing the request.
 		if rep.Sample.N() > 0 {
 			sum := rep.Sample.Summarize()
+			p50, err := rep.Sample.Quantile(50)
+			if err != nil {
+				return nil, err
+			}
+			p95, err := rep.Sample.Quantile(95)
+			if err != nil {
+				return nil, err
+			}
 			res.Slowdown = &SlowdownJSON{
 				MeanPct: sum.Mean, CI95Pct: sum.CI95,
-				MinPct: sum.Min, MaxPct: sum.Max, N: sum.N,
+				MinPct: sum.Min, MaxPct: sum.Max,
+				P50Pct: p50, P95Pct: p95, N: sum.N,
 			}
 		}
 		return res, nil

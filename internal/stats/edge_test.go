@@ -1,0 +1,76 @@
+package stats
+
+// Edge-case regression tests: Quantile's non-panicking contract for
+// empty samples (fully saturated sweeps produce them legitimately), and
+// Histogram's NaN accounting (int(NaN) is unspecified and used to land
+// NaN observations in bucket 0).
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestQuantileEmptySample(t *testing.T) {
+	var s Sample
+	v, err := s.Quantile(50)
+	if !errors.Is(err, ErrEmptySample) {
+		t.Fatalf("err = %v, want ErrEmptySample", err)
+	}
+	if v != 0 {
+		t.Fatalf("value = %v, want 0", v)
+	}
+}
+
+func TestQuantileOutOfRange(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 3)
+	for _, p := range []float64{-0.001, 100.001, math.NaN()} {
+		if _, err := s.Quantile(p); err == nil {
+			t.Errorf("p=%v accepted", p)
+		}
+	}
+}
+
+func TestQuantileMatchesPercentile(t *testing.T) {
+	var s Sample
+	s.AddAll(5, 1, 4, 2, 3)
+	for _, p := range []float64{0, 10, 25, 50, 75, 90, 100} {
+		q, err := s.Quantile(p)
+		if err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		if got := s.Percentile(p); got != q {
+			t.Fatalf("p=%v: Quantile %v != Percentile %v", p, q, got)
+		}
+	}
+	one := Sample{}
+	one.Add(7)
+	if q, err := one.Quantile(95); err != nil || q != 7 {
+		t.Fatalf("single-element quantile = %v, %v", q, err)
+	}
+}
+
+func TestHistogramNaNCountedSeparately(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(1)
+	h.Add(math.NaN())
+	h.Add(9)
+	h.Add(math.NaN())
+	if h.NaNs != 2 {
+		t.Fatalf("NaNs = %d, want 2", h.NaNs)
+	}
+	if h.Total != 2 {
+		t.Fatalf("Total = %d, want 2 (NaNs must not be bucketed)", h.Total)
+	}
+	if h.Counts[0] != 1 {
+		t.Fatalf("bucket 0 = %d, want 1 — NaN leaked into the low bucket", h.Counts[0])
+	}
+	sum := 0
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Total {
+		t.Fatalf("bucket sum %d != Total %d", sum, h.Total)
+	}
+}

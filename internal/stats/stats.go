@@ -90,28 +90,48 @@ func (s *Sample) CI95() float64 {
 	return 1.96 * s.StdDev() / math.Sqrt(float64(n))
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 100) by linear
-// interpolation. It panics on an empty sample or out-of-range p.
-func (s *Sample) Percentile(p float64) float64 {
+// ErrEmptySample is returned by Quantile on a sample with no
+// observations — the legitimate outcome of a fully saturated sweep,
+// where every repetition is excluded from the slowdown sample.
+var ErrEmptySample = fmt.Errorf("stats: empty sample")
+
+// Quantile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation. Unlike Percentile it never panics: an empty sample
+// returns ErrEmptySample and an out-of-range p returns an error, so
+// report and serving paths can surface a clean failure for
+// all-saturated results instead of a panic.
+func (s *Sample) Quantile(p float64) (float64, error) {
 	if len(s.xs) == 0 {
-		panic("stats: percentile of empty sample")
+		return 0, ErrEmptySample
 	}
-	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	if p < 0 || p > 100 || math.IsNaN(p) {
+		return 0, fmt.Errorf("stats: percentile %v out of range [0, 100]", p)
 	}
 	sorted := s.Values()
 	sort.Float64s(sorted)
 	if len(sorted) == 1 {
-		return sorted[0]
+		return sorted[0], nil
 	}
 	pos := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo]
+		return sorted[lo], nil
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) by linear
+// interpolation. It panics on an empty sample or out-of-range p;
+// callers that can legitimately see empty samples (fully saturated
+// sweeps) should use Quantile.
+func (s *Sample) Percentile(p float64) float64 {
+	v, err := s.Quantile(p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
 }
 
 // Summary is a one-line description of a sample.
@@ -133,11 +153,17 @@ func (s *Sample) Summarize() Summary {
 }
 
 // Histogram bins observations into equal-width buckets over [lo, hi).
-// Out-of-range values clamp to the first/last bucket.
+// Out-of-range values clamp to the first/last bucket; NaN observations
+// are counted in NaNs and excluded from the buckets (the float-to-int
+// conversion of NaN is unspecified and used to land them in bucket 0,
+// silently skewing the low end).
 type Histogram struct {
-	Lo, Hi  float64
-	Counts  []int
-	Total   int
+	Lo, Hi float64
+	Counts []int
+	// Total counts the bucketed (non-NaN) observations.
+	Total int
+	// NaNs counts observations rejected as NaN.
+	NaNs    int
 	width   float64
 	samples int
 }
@@ -154,8 +180,12 @@ func NewHistogram(lo, hi float64, buckets int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, buckets), width: (hi - lo) / float64(buckets)}
 }
 
-// Add records an observation.
+// Add records an observation. NaN is tallied separately (see NaNs).
 func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) {
+		h.NaNs++
+		return
+	}
 	i := int((x - h.Lo) / h.width)
 	if i < 0 {
 		i = 0
