@@ -8,6 +8,7 @@
 //
 //	cesimd -addr :8080
 //	cesimd -addr :8080 -workers 4 -queue 128 -cache-mb 512 -job-timeout 10m
+//	cesimd -allow-fault-injection -faults faults.json   # chaos drills only
 //
 //	curl -s localhost:8080/v1/systems | jq .
 //	curl -s -X POST localhost:8080/v1/simulate -d \
@@ -29,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/server"
 	"repro/internal/simcache"
@@ -46,10 +48,30 @@ func main() {
 		maxNodes     = flag.Int("max-nodes", 16384, "largest accepted node count")
 		maxReps      = flag.Int("max-reps", 64, "largest accepted repetition count")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "shutdown grace for in-flight jobs")
+		jobRetries   = flag.Int("job-retries", 2, "per-job retry budget for retryable failures (negative = none)")
+		shedMark     = flag.Int("shed-watermark", 0, "queue depth at which new submissions get 503 (0 = disabled)")
+		faultsPath   = flag.String("faults", "", "fault-injection plan (JSON); requires -allow-fault-injection")
+		allowFaults  = flag.Bool("allow-fault-injection", false, "permit -faults (chaos drills; never in production)")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "cesimd: ", log.LstdFlags)
+
+	// Fault injection is opt-in twice over: the plan flag alone is an
+	// error so a stray -faults can't chaos a production instance.
+	if *faultsPath != "" && !*allowFaults {
+		logger.Fatal("-faults requires -allow-fault-injection")
+	}
+	if *allowFaults && *faultsPath != "" {
+		plan, err := faultinject.LoadPlan(*faultsPath)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		if err := faultinject.Arm(plan); err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("FAULT INJECTION ARMED from %s (%d sites) — results serve degraded-path drills, not production", *faultsPath, len(plan))
+	}
 
 	queue := jobs.New(jobs.Config{
 		Workers:  *workers,
@@ -59,11 +81,13 @@ func main() {
 	})
 	cache := simcache.New(int64(*cacheMB) << 20)
 	srv, err := server.New(server.Config{
-		Queue:      queue,
-		Cache:      cache,
-		SimWorkers: *simWorkers,
-		MaxNodes:   *maxNodes,
-		MaxReps:    *maxReps,
+		Queue:         queue,
+		Cache:         cache,
+		SimWorkers:    *simWorkers,
+		MaxNodes:      *maxNodes,
+		MaxReps:       *maxReps,
+		JobRetries:    *jobRetries,
+		ShedWatermark: *shedMark,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -107,6 +131,7 @@ func main() {
 
 	st := queue.Stats()
 	cs := cache.Stats()
-	logger.Printf("done: %d jobs (%d ok, %d failed, %d canceled), cache hit ratio %s",
-		st.Submitted, st.Succeeded, st.Failed, st.Canceled, fmt.Sprintf("%.2f", cs.HitRatio))
+	logger.Printf("done: %d jobs (%d ok, %d failed, %d canceled, %d retries, %d panics recovered), cache hit ratio %s",
+		st.Submitted, st.Succeeded, st.Failed, st.Canceled, st.Retries, st.PanicsRecovered,
+		fmt.Sprintf("%.2f", cs.HitRatio))
 }

@@ -11,10 +11,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/collectives"
+	"repro/internal/faultinject"
 	"repro/internal/loggopsim"
 	"repro/internal/netmodel"
 	"repro/internal/noise"
@@ -191,6 +194,96 @@ func (e *Experiment) runOn(sim *loggopsim.Simulator, sc Scenario) (*RunResult, e
 	}, nil
 }
 
+// RepetitionError is the typed failure of one simulation repetition:
+// either a recovered panic (PanicValue and Stack set) or an injected
+// fault (Err set). The seed identifies which repetition failed.
+type RepetitionError struct {
+	// Seed is the CE seed of the failed repetition.
+	Seed uint64
+	// PanicValue is non-nil when the repetition panicked.
+	PanicValue any
+	// Stack is the goroutine stack captured at panic recovery.
+	Stack string
+	// Err is the underlying error for non-panic failures.
+	Err error
+}
+
+func (e *RepetitionError) Error() string {
+	if e.PanicValue != nil {
+		return fmt.Sprintf("core: repetition (seed %d) panicked: %v", e.Seed, e.PanicValue)
+	}
+	return fmt.Sprintf("core: repetition (seed %d): %v", e.Seed, e.Err)
+}
+
+func (e *RepetitionError) Unwrap() error { return e.Err }
+
+// Retryable marks the repetition eligible for a bounded same-seed
+// re-run — unless the underlying cause is cancellation, which must
+// stop the run, not restart it.
+func (e *RepetitionError) Retryable() bool {
+	return !errors.Is(e.Err, context.Canceled) && !errors.Is(e.Err, context.DeadlineExceeded)
+}
+
+// retryableErr reports whether any error in the chain declares itself
+// retryable via a Retryable() bool method.
+func retryableErr(err error) bool {
+	var r interface{ Retryable() bool }
+	return errors.As(err, &r) && r.Retryable()
+}
+
+// repAttempts bounds how many times one repetition is attempted. A
+// retried repetition re-runs with the same CE seed, so a successful
+// retry is bit-identical to a never-faulted run; the sample cannot
+// drift no matter how often faults fire.
+const repAttempts = 4
+
+// runRepOnce attempts one repetition, firing the core.repetition fault
+// site and converting a panic into a *RepetitionError with the stack
+// captured. panicked tells the caller the pooled simulator may hold
+// mid-run state and must not be reused.
+func (e *Experiment) runRepOnce(ctx context.Context, sim *loggopsim.Simulator, sc Scenario) (res *RunResult, panicked bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, panicked = nil, true
+			err = &RepetitionError{Seed: sc.Seed, PanicValue: r, Stack: string(debug.Stack())}
+		}
+	}()
+	if ferr := faultinject.Fire(ctx, faultinject.SiteRepetition); ferr != nil {
+		return nil, false, &RepetitionError{Seed: sc.Seed, Err: ferr}
+	}
+	res, err = e.runOn(sim, sc)
+	return res, false, err
+}
+
+// runRep executes one repetition with panic recovery and bounded
+// same-seed retry. A panicking attempt discards the simulator (its
+// event queue and per-rank state may be mid-run) and replaces it with
+// a fresh one through *sim. retried reports the extra attempts spent.
+func (e *Experiment) runRep(ctx context.Context, sim **loggopsim.Simulator, sc Scenario) (res *RunResult, retried int, err error) {
+	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, retried, cerr
+		}
+		var panicked bool
+		res, panicked, err = e.runRepOnce(ctx, *sim, sc)
+		if err == nil {
+			return res, retried, nil
+		}
+		if panicked {
+			*sim = nil
+			ns, aerr := e.acquireSim()
+			if aerr != nil {
+				return nil, retried, aerr
+			}
+			*sim = ns
+		}
+		if !retryableErr(err) || attempt+1 >= repAttempts {
+			return nil, retried, err
+		}
+		retried++
+	}
+}
+
 // Repeated is the aggregate of several repetitions of one scenario
 // with different CE seeds (the paper averages >= 8 runs per
 // configuration). Saturated repetitions — whether detected
@@ -211,6 +304,11 @@ type Repeated struct {
 	SaturatedReps int
 	// Reps is the number of repetitions executed.
 	Reps int
+	// RetriedReps counts extra attempts spent re-running repetitions
+	// that panicked or failed retryably (fault injection, transient
+	// errors). Retries re-use the repetition's seed, so they never
+	// change Sample — Sample.N() + SaturatedReps == Reps regardless.
+	RetriedReps int
 }
 
 // add folds one repetition into the aggregate.
@@ -233,7 +331,8 @@ func (e *Experiment) RunRepeated(sc Scenario, reps int) (*Repeated, error) {
 
 // runRepeatedSeq is the sequential repetition loop, checking ctx
 // between repetitions so long scenario batches can be canceled. One
-// pooled simulator serves every repetition.
+// pooled simulator serves every repetition (replaced if an attempt
+// panics mid-run).
 func (e *Experiment) runRepeatedSeq(ctx context.Context, sc Scenario, reps int) (*Repeated, error) {
 	if reps < 1 {
 		return nil, fmt.Errorf("core: reps must be >= 1, got %d", reps)
@@ -242,18 +341,20 @@ func (e *Experiment) runRepeatedSeq(ctx context.Context, sc Scenario, reps int) 
 	if err != nil {
 		return nil, err
 	}
-	defer e.releaseSim(sim)
+	defer func() {
+		if sim != nil {
+			e.releaseSim(sim)
+		}
+	}()
 	out := &Repeated{}
 	for i := 0; i < reps; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
 		sci := sc
 		sci.Seed = sc.Seed + uint64(i)
-		res, err := e.runOn(sim, sci)
+		res, retried, err := e.runRep(ctx, &sim, sci)
 		if err != nil {
 			return nil, err
 		}
+		out.RetriedReps += retried
 		out.add(res)
 	}
 	return out, nil

@@ -36,9 +36,10 @@ func (e *Experiment) RunRepeatedParallelContext(ctx context.Context, sc Scenario
 	}
 
 	type outcome struct {
-		idx int
-		res *RunResult
-		err error
+		idx     int
+		res     *RunResult
+		retried int
+		err     error
 	}
 	jobs := make(chan int)
 	// results is buffered to reps so workers never block on it: the
@@ -51,24 +52,24 @@ func (e *Experiment) RunRepeatedParallelContext(ctx context.Context, sc Scenario
 		go func() {
 			defer wg.Done()
 			// One pooled simulator per worker: repetitions reuse its
-			// preallocated event queue and per-rank state.
+			// preallocated event queue and per-rank state. runRep may
+			// replace it (and nil it on unrecoverable panic), so the
+			// release is guarded.
 			sim, simErr := e.acquireSim()
-			if simErr == nil {
-				defer e.releaseSim(sim)
-			}
+			defer func() {
+				if sim != nil {
+					e.releaseSim(sim)
+				}
+			}()
 			for i := range jobs {
 				if simErr != nil {
 					results <- outcome{idx: i, err: simErr}
 					continue
 				}
-				if err := ctx.Err(); err != nil {
-					results <- outcome{idx: i, err: err}
-					continue
-				}
 				sci := sc
 				sci.Seed = sc.Seed + uint64(i)
-				res, err := e.runOn(sim, sci)
-				results <- outcome{idx: i, res: res, err: err}
+				res, retried, err := e.runRep(ctx, &sim, sci)
+				results <- outcome{idx: i, res: res, retried: retried, err: err}
 			}
 		}()
 	}
@@ -105,6 +106,7 @@ func (e *Experiment) RunRepeatedParallelContext(ctx context.Context, sc Scenario
 	for _, o := range collected {
 		// Seed-order accumulation with the same saturation semantics as
 		// the sequential loop keeps the two paths bit-identical.
+		out.RetriedReps += o.retried
 		out.add(o.res)
 	}
 	return out, nil

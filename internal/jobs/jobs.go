@@ -3,6 +3,16 @@
 // cancellation and a graceful drain for SIGTERM handling. Simulation
 // requests accepted by internal/server become jobs here; the heavy
 // lifting inside a job fans out further via core.RunRepeatedParallel.
+//
+// The pool is self-healing: a panicking job body is recovered and
+// converted into a typed *JobError with the goroutine stack captured
+// (the worker survives), and failures that declare themselves
+// retryable — injected faults, recovered panics, anything exposing
+// Retryable() bool — are re-run with exponential backoff and jitter up
+// to the submission's retry budget (Spec.Retries). The jobs.worker
+// fault-injection site (internal/faultinject) fires at the start of
+// every attempt, inside the recovery scope, so the whole path can be
+// exercised deterministically.
 package jobs
 
 import (
@@ -11,10 +21,14 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	insecurerand "math/rand/v2"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // State is a job's lifecycle position.
@@ -51,6 +65,11 @@ type Snapshot struct {
 	Finished *time.Time `json:"finished,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Result   any        `json:"result,omitempty"`
+	// Attempts is how many times the job body ran (1 + retries used).
+	Attempts int `json:"attempts,omitempty"`
+	// Stack is the captured goroutine stack when the job failed
+	// terminally on a recovered panic.
+	Stack string `json:"stack,omitempty"`
 }
 
 // Stats counts queue activity since construction.
@@ -72,6 +91,12 @@ type Stats struct {
 	Succeeded uint64 `json:"succeeded"`
 	Failed    uint64 `json:"failed"`
 	Canceled  uint64 `json:"canceled"`
+	// PanicsRecovered counts job attempts that panicked and were
+	// converted to a *JobError instead of crashing the worker.
+	PanicsRecovered uint64 `json:"panics_recovered"`
+	// Retries counts extra attempts spent re-running retryable
+	// failures.
+	Retries uint64 `json:"retries"`
 }
 
 // Config sizes the queue.
@@ -79,7 +104,7 @@ type Config struct {
 	// Workers is the pool size; <= 0 selects GOMAXPROCS.
 	Workers int
 	// Capacity bounds the number of queued (not yet running) jobs;
-	// <= 0 selects 64. Submissions beyond it fail with ErrFull.
+	// <= 0 selects 64. Submissions beyond it fail with ErrQueueFull.
 	Capacity int
 	// Timeout is the per-job deadline measured from when a worker
 	// picks the job up; 0 means none.
@@ -91,22 +116,103 @@ type Config struct {
 
 // Sentinel submission errors.
 var (
-	// ErrFull reports a bounded queue at capacity.
-	ErrFull = errors.New("jobs: queue full")
+	// ErrQueueFull reports a bounded queue at capacity. Callers (the
+	// HTTP layer) match it with errors.Is to answer 429.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrFull is a deprecated alias for ErrQueueFull.
+	ErrFull = ErrQueueFull
 	// ErrDraining reports a queue that stopped accepting work.
 	ErrDraining = errors.New("jobs: queue draining")
 )
 
+// Retryable is implemented by errors that may succeed when the same
+// work is re-run: injected faults (internal/faultinject), recovered
+// panics (*JobError), and repetition failures (core.RepetitionError).
+type Retryable interface{ Retryable() bool }
+
+// retryable reports whether any error in err's chain declares itself
+// retryable. Cancellation and deadline expiry are never retryable,
+// whatever the chain says: the caller asked the work to stop.
+func retryable(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var r Retryable
+	return errors.As(err, &r) && r.Retryable()
+}
+
+// JobError is the typed failure produced when a job attempt panics:
+// the panic value plus the captured goroutine stack. It is retryable —
+// a panic from an injected or transient fault deserves the same
+// bounded re-run a transient error gets; a deterministic panic simply
+// exhausts the budget and fails with the stack attached.
+type JobError struct {
+	// PanicValue is the value the job body panicked with.
+	PanicValue any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *JobError) Error() string {
+	return fmt.Sprintf("jobs: recovered panic: %v", e.PanicValue)
+}
+
+// Retryable marks recovered panics eligible for the retry budget.
+func (e *JobError) Retryable() bool { return true }
+
+// Spec describes a submission: its kind label and retry policy.
+type Spec struct {
+	// Kind labels the job for observers.
+	Kind string
+	// Retries is how many times a retryable failure is re-run after
+	// the first attempt; 0 disables retry.
+	Retries int
+	// BaseBackoff is the backoff before the first retry (default
+	// 10ms); each further retry doubles it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 2s).
+	MaxBackoff time.Duration
+}
+
+// backoff returns the jittered exponential backoff before retry
+// attempt (0-based): uniformly drawn from [d/2, d] where d doubles
+// from BaseBackoff up to MaxBackoff. The jitter decorrelates retry
+// storms; it deliberately does not use the deterministic faultinject
+// streams, since sleep lengths never affect simulation results.
+func (s Spec) backoff(attempt int) time.Duration {
+	base, max := s.BaseBackoff, s.MaxBackoff
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(insecurerand.Int64N(int64(half)+1))
+}
+
 // job is the internal mutable record behind a Snapshot.
 type job struct {
 	id       string
-	kind     string
+	spec     Spec
 	fn       Func
 	state    State
 	created  time.Time
 	started  time.Time
 	finished time.Time
 	err      string
+	stack    string
+	attempts int
 	result   any
 	cancel   context.CancelFunc // set while running
 }
@@ -129,6 +235,8 @@ type Queue struct {
 	succeeded uint64
 	failed    uint64
 	canceled  uint64
+	panics    uint64
+	retries   uint64
 }
 
 // New builds the queue and starts its workers.
@@ -154,12 +262,20 @@ func New(cfg Config) *Queue {
 	return q
 }
 
-// Submit enqueues fn and returns the new job's id. It never blocks:
-// a full queue returns ErrFull, a draining queue ErrDraining.
+// Submit enqueues fn with no retry budget and returns the new job's
+// id. It never blocks: a full queue returns ErrQueueFull, a draining
+// queue ErrDraining.
 func (q *Queue) Submit(kind string, fn Func) (string, error) {
+	return q.SubmitSpec(Spec{Kind: kind}, fn)
+}
+
+// SubmitSpec enqueues fn under the given spec (kind label and retry
+// policy). It never blocks: a full queue returns ErrQueueFull, a
+// draining queue ErrDraining.
+func (q *Queue) SubmitSpec(spec Spec, fn Func) (string, error) {
 	j := &job{
 		id:      q.newID(),
-		kind:    kind,
+		spec:    spec,
 		fn:      fn,
 		state:   Queued,
 		created: time.Now(),
@@ -179,7 +295,7 @@ func (q *Queue) Submit(kind string, fn Func) (string, error) {
 	default:
 		q.rejected++
 		q.mu.Unlock()
-		return "", ErrFull
+		return "", ErrQueueFull
 	}
 }
 
@@ -208,12 +324,14 @@ func (q *Queue) Get(id string) (Snapshot, bool) {
 
 func snapshotLocked(j *job) Snapshot {
 	s := Snapshot{
-		ID:      j.id,
-		Kind:    j.kind,
-		State:   j.state,
-		Created: j.created,
-		Error:   j.err,
-		Result:  j.result,
+		ID:       j.id,
+		Kind:     j.spec.Kind,
+		State:    j.state,
+		Created:  j.created,
+		Error:    j.err,
+		Result:   j.result,
+		Attempts: j.attempts,
+		Stack:    j.stack,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -255,15 +373,17 @@ func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return Stats{
-		Depth:     len(q.work),
-		Capacity:  q.cfg.Capacity,
-		Workers:   q.cfg.Workers,
-		Running:   q.running,
-		Submitted: q.submitted,
-		Rejected:  q.rejected,
-		Succeeded: q.succeeded,
-		Failed:    q.failed,
-		Canceled:  q.canceled,
+		Depth:           len(q.work),
+		Capacity:        q.cfg.Capacity,
+		Workers:         q.cfg.Workers,
+		Running:         q.running,
+		Submitted:       q.submitted,
+		Rejected:        q.rejected,
+		Succeeded:       q.succeeded,
+		Failed:          q.failed,
+		Canceled:        q.canceled,
+		PanicsRecovered: q.panics,
+		Retries:         q.retries,
 	}
 }
 
@@ -299,7 +419,8 @@ func (q *Queue) worker() {
 	}
 }
 
-// run executes one job with its deadline attached.
+// run executes one job with its deadline attached, re-running
+// retryable failures with backoff up to the submission's budget.
 func (q *Queue) run(j *job) {
 	var (
 		ctx    context.Context
@@ -323,26 +444,91 @@ func (q *Queue) run(j *job) {
 	q.running++
 	q.mu.Unlock()
 
-	res, err := j.fn(ctx)
+	var (
+		res      any
+		err      error
+		attempts int
+	)
+	for attempt := 0; ; attempt++ {
+		res, err = q.attempt(ctx, j)
+		attempts = attempt + 1
+		if err == nil || ctx.Err() != nil || !retryable(err) || attempt >= j.spec.Retries {
+			break
+		}
+		q.mu.Lock()
+		q.retries++
+		q.mu.Unlock()
+		if !sleepCtx(ctx, j.spec.backoff(attempt)) {
+			// Canceled or timed out while backing off; the last
+			// failure stands but the job finishes as canceled below.
+			break
+		}
+	}
 
 	q.mu.Lock()
 	q.running--
 	j.cancel = nil
+	j.attempts = attempts
 	switch {
 	case err == nil:
 		j.result = res
 		q.finishLocked(j, Succeeded, nil)
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		q.finishLocked(j, Canceled, err)
+	case ctx.Err() != nil:
+		// The retry loop was abandoned mid-backoff by cancellation or
+		// the deadline; report the job canceled, keeping the failure
+		// it was retrying for the record.
+		q.finishLocked(j, Canceled, fmt.Errorf("%v (while retrying: %w)", ctx.Err(), err))
 	default:
+		var je *JobError
+		if errors.As(err, &je) {
+			j.stack = je.Stack
+		}
 		q.finishLocked(j, Failed, err)
 	}
 	q.mu.Unlock()
 }
 
+// attempt runs the job body once, firing the jobs.worker fault site
+// and converting a panic into a retryable *JobError with the stack
+// captured, so one misbehaving job cannot take down its worker.
+func (q *Queue) attempt(ctx context.Context, j *job) (res any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			q.mu.Lock()
+			q.panics++
+			q.mu.Unlock()
+			res = nil
+			err = &JobError{PanicValue: r, Stack: string(debug.Stack())}
+		}
+	}()
+	if err := faultinject.Fire(ctx, faultinject.SiteJobWorker); err != nil {
+		return nil, err
+	}
+	return j.fn(ctx)
+}
+
+// sleepCtx sleeps for d, returning false if ctx expires first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
 // finishLocked moves a job to a terminal state and applies retention.
-// q.mu must be held.
+// q.mu must be held. A job already terminal is left untouched, so a
+// cancellation racing a worker's own completion can never
+// double-complete (double-count, double-retain) the job.
 func (q *Queue) finishLocked(j *job, s State, err error) {
+	if j.state.Terminal() {
+		return
+	}
 	j.state = s
 	j.finished = time.Now()
 	if err != nil {

@@ -83,7 +83,7 @@ func TestQueueFullRejects(t *testing.T) {
 	if _, err := q.Submit("b", wait); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := q.Submit("c", wait); !errors.Is(err, ErrFull) {
+	if _, err := q.Submit("c", wait); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overfull submit: %v", err)
 	}
 	if st := q.Stats(); st.Rejected != 1 {

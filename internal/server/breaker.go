@@ -1,0 +1,197 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBreakerOpen reports that the baseline-cache circuit breaker is
+// open: the cache path is skipped and simulate jobs degrade to
+// cache-bypass builds until a half-open probe succeeds.
+var ErrBreakerOpen = errors.New("server: baseline-cache breaker open")
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+// Breaker states: closed passes traffic, open short-circuits it,
+// half-open admits a single probe after the cooldown.
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a sliding-window circuit breaker guarding the baseline
+// cache. It opens when the failure count within the last window
+// observations reaches the threshold, short-circuits while open, and
+// heals through a single half-open probe after the cooldown. All
+// methods are safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	threshold int
+	window    []bool // ring buffer of outcomes; true = failure
+	widx      int
+	wn        int
+	cooldown  time.Duration
+	openedAt  time.Time
+	probing   bool
+
+	opens       uint64
+	transitions uint64
+
+	now func() time.Time // test hook
+}
+
+// NewBreaker builds a breaker opening at threshold failures within the
+// last window observations, healing after cooldown. Non-positive
+// arguments select threshold 3, window 16, cooldown 5s.
+func NewBreaker(threshold, window int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if window < threshold {
+		window = 16
+		if window < threshold {
+			window = threshold
+		}
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{
+		threshold: threshold,
+		window:    make([]bool, window),
+		cooldown:  cooldown,
+		now:       time.Now,
+	}
+}
+
+// transitionLocked moves to state s and counts the edge. b.mu held.
+func (b *Breaker) transitionLocked(s BreakerState) {
+	if b.state == s {
+		return
+	}
+	b.state = s
+	b.transitions++
+	if s == BreakerOpen {
+		b.opens++
+		b.openedAt = b.now()
+	}
+}
+
+// failuresLocked counts failures in the window. b.mu held.
+func (b *Breaker) failuresLocked() int {
+	n := 0
+	for i := 0; i < b.wn; i++ {
+		if b.window[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// recordLocked appends one outcome to the ring. b.mu held.
+func (b *Breaker) recordLocked(failure bool) {
+	b.window[b.widx] = failure
+	b.widx = (b.widx + 1) % len(b.window)
+	if b.wn < len(b.window) {
+		b.wn++
+	}
+}
+
+// Allow reports whether the protected path may be attempted. While
+// open it returns false until the cooldown elapses, then admits
+// exactly one half-open probe; further callers keep bypassing until
+// the probe reports Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.transitionLocked(BreakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a healthy pass through the protected path.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		// The probe healed the circuit; start from a clean window.
+		b.probing = false
+		for i := range b.window {
+			b.window[i] = false
+		}
+		b.widx, b.wn = 0, 0
+		b.transitionLocked(BreakerClosed)
+		return
+	}
+	b.recordLocked(false)
+}
+
+// Failure records a failed pass, opening the breaker when the window
+// crosses the threshold (or immediately for a failed probe).
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen {
+		b.probing = false
+		b.transitionLocked(BreakerOpen)
+		return
+	}
+	b.recordLocked(true)
+	if b.state == BreakerClosed && b.failuresLocked() >= b.threshold {
+		b.transitionLocked(BreakerOpen)
+	}
+}
+
+// BreakerStats is the breaker section of a metrics snapshot.
+type BreakerStats struct {
+	// State is "closed", "open" or "half-open".
+	State string `json:"state"`
+	// WindowFailures is the failure count in the sliding window.
+	WindowFailures int `json:"window_failures"`
+	// Opens counts closed/half-open -> open edges.
+	Opens uint64 `json:"opens"`
+	// Transitions counts all state edges.
+	Transitions uint64 `json:"transitions"`
+}
+
+// Snapshot returns the breaker's current position and counters.
+func (b *Breaker) Snapshot() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{
+		State:          b.state.String(),
+		WindowFailures: b.failuresLocked(),
+		Opens:          b.opens,
+		Transitions:    b.transitions,
+	}
+}

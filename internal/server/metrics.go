@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/simcache"
 )
@@ -95,6 +96,10 @@ type Metrics struct {
 	requests map[string]uint64 // by route pattern
 	statuses map[string]uint64 // by status class ("2xx", ...)
 	stages   map[string]*hist
+
+	shedRequests  uint64
+	handlerPanics uint64
+	cacheBypasses uint64
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -117,6 +122,28 @@ func (m *Metrics) Observe(stage string, d time.Duration) {
 		m.stages[stage] = h
 	}
 	h.observe(d)
+}
+
+// Shed counts one submission rejected by admission control.
+func (m *Metrics) Shed() {
+	m.mu.Lock()
+	m.shedRequests++
+	m.mu.Unlock()
+}
+
+// HandlerPanic counts one panic recovered by the handler middleware.
+func (m *Metrics) HandlerPanic() {
+	m.mu.Lock()
+	m.handlerPanics++
+	m.mu.Unlock()
+}
+
+// CacheBypass counts one simulate job that built its baseline directly
+// because the cache failed or its breaker was open.
+func (m *Metrics) CacheBypass() {
+	m.mu.Lock()
+	m.cacheBypasses++
+	m.mu.Unlock()
 }
 
 // Request records one served HTTP request.
@@ -150,11 +177,22 @@ type Snapshot struct {
 	Latency       map[string]HistSnapshot `json:"latency"`
 	Jobs          jobs.Stats              `json:"jobs"`
 	Cache         simcache.Stats          `json:"cache"`
+	// ShedRequests counts submissions rejected by admission control.
+	ShedRequests uint64 `json:"shed_requests"`
+	// HandlerPanics counts panics recovered at the HTTP layer.
+	HandlerPanics uint64 `json:"handler_panics"`
+	// CacheBypasses counts simulate jobs that degraded to a direct
+	// baseline build.
+	CacheBypasses uint64 `json:"cache_bypasses"`
+	// Breaker reports the baseline-cache circuit breaker, when wired.
+	Breaker *BreakerStats `json:"breaker,omitempty"`
+	// Faults reports fault-injection counters while a plan is armed.
+	Faults *faultinject.Stats `json:"faults,omitempty"`
 }
 
-// Snapshot captures all counters plus live queue and cache gauges.
-// q and c may be nil (their sections stay zero).
-func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache) Snapshot {
+// Snapshot captures all counters plus live queue, cache and breaker
+// gauges. q, c and b may be nil (their sections stay zero or absent).
+func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache, b *Breaker) Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      map[string]uint64{},
@@ -171,12 +209,23 @@ func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache) Snapshot {
 	for k, h := range m.stages {
 		s.Latency[k] = h.snapshot()
 	}
+	s.ShedRequests = m.shedRequests
+	s.HandlerPanics = m.handlerPanics
+	s.CacheBypasses = m.cacheBypasses
 	m.mu.Unlock()
 	if q != nil {
 		s.Jobs = q.Stats()
 	}
 	if c != nil {
 		s.Cache = c.Stats()
+	}
+	if b != nil {
+		bs := b.Snapshot()
+		s.Breaker = &bs
+	}
+	if faultinject.Armed() {
+		fs := faultinject.Snapshot()
+		s.Faults = &fs
 	}
 	return s
 }

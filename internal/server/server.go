@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/noise"
 	"repro/internal/simcache"
@@ -48,6 +49,20 @@ type Config struct {
 	MaxIters int
 	// MaxReps bounds requested repetitions (default 64).
 	MaxReps int
+	// ShedWatermark sheds new submissions with 503 + Retry-After once
+	// the queue depth reaches it. <= 0 disables admission control (the
+	// queue's own capacity bound still applies, answered with 429).
+	ShedWatermark int
+	// JobRetries is the per-job retry budget for retryable failures
+	// (recovered panics, injected faults). 0 selects the default (2);
+	// negative disables retries.
+	JobRetries int
+	// BreakerThreshold, BreakerWindow and BreakerCooldown configure the
+	// baseline-cache circuit breaker; zero values select NewBreaker's
+	// defaults (3 failures in the last 16 outcomes, 5s cooldown).
+	BreakerThreshold int
+	BreakerWindow    int
+	BreakerCooldown  time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -60,14 +75,25 @@ func (c Config) withDefaults() Config {
 	if c.MaxReps <= 0 {
 		c.MaxReps = 64
 	}
+	switch {
+	case c.JobRetries == 0:
+		c.JobRetries = 2
+	case c.JobRetries < 0:
+		c.JobRetries = 0
+	}
 	return c
 }
+
+// ErrShed reports a submission rejected by admission control because
+// the job queue is above the shed watermark.
+var ErrShed = errors.New("server: overloaded, submission shed")
 
 // Server is the HTTP handler. Construct with New.
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	metrics *Metrics
+	breaker *Breaker
 }
 
 // New builds the handler around a queue and cache.
@@ -75,7 +101,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Queue == nil || cfg.Cache == nil {
 		return nil, fmt.Errorf("server: queue and cache are required")
 	}
-	s := &Server{cfg: cfg.withDefaults(), mux: http.NewServeMux(), metrics: NewMetrics()}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg, mux: http.NewServeMux(), metrics: NewMetrics(),
+		breaker: NewBreaker(cfg.BreakerThreshold, cfg.BreakerWindow, cfg.BreakerCooldown),
+	}
 	s.handle("GET /healthz", s.handleHealthz)
 	s.handle("GET /metrics", s.handleMetrics)
 	s.handle("GET /v1/systems", s.handleSystems)
@@ -90,29 +120,60 @@ func New(cfg Config) (*Server, error) {
 // Metrics exposes the registry (cmd/cesimd logs a summary on exit).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// Breaker exposes the baseline-cache circuit breaker (for tests and
+// operational snapshots).
+func (s *Server) Breaker() *Breaker { return s.breaker }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// statusRecorder captures the response code for metrics.
+// statusRecorder captures the response code for metrics and whether
+// anything was written (a recovered panic can only send a clean 500 if
+// the handler had not started the response).
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	wrote  bool
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.status = code
+	r.wrote = true
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// handle registers a route with request accounting. pattern must be
-// "METHOD /path" (Go 1.22 ServeMux syntax).
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// handle registers a route with request accounting, panic recovery and
+// the server.handler fault site. pattern must be "METHOD /path" (Go
+// 1.22 ServeMux syntax). A panicking handler is converted into a 500
+// instead of killing the connection (and, with http.Server, being
+// rethrown by the net/http panic handler).
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(rec, r)
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					s.metrics.HandlerPanic()
+					rec.status = http.StatusInternalServerError
+					if !rec.wrote {
+						writeError(rec, http.StatusInternalServerError, "internal error: %v", v)
+					}
+				}
+			}()
+			if err := faultinject.Fire(r.Context(), faultinject.SiteHandler); err != nil {
+				writeError(rec, http.StatusInternalServerError, "%v", err)
+				return
+			}
+			h(rec, r)
+		}()
 		s.metrics.Request(pattern, rec.status, time.Since(start))
 	})
 }
@@ -138,12 +199,12 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"uptime_s": s.metrics.Snapshot(nil, nil).UptimeSeconds,
+		"uptime_s": s.metrics.Snapshot(nil, nil, nil).UptimeSeconds,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cfg.Queue, s.cfg.Cache))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cfg.Queue, s.cfg.Cache, s.breaker))
 }
 
 // systemJSON is one Table II row on the wire.
@@ -275,6 +336,10 @@ type SimulateResult struct {
 	// CacheHit reports whether the baseline was resident (or already
 	// being built) when the job ran.
 	CacheHit bool `json:"cache_hit"`
+	// CacheBypassed reports the baseline was built directly because the
+	// cache failed or its circuit breaker was open. The result is still
+	// bit-identical: baseline construction is deterministic.
+	CacheBypassed bool `json:"cache_bypassed,omitempty"`
 	// BaselineNanos and ScenariosNanos decompose the job's wall time.
 	BaselineNanos  int64 `json:"baseline_wall_ns"`
 	ScenariosNanos int64 `json:"scenarios_wall_ns"`
@@ -366,9 +431,16 @@ type submitted struct {
 }
 
 func (s *Server) submit(w http.ResponseWriter, kind string, fn jobs.Func) {
-	id, err := s.cfg.Queue.Submit(kind, fn)
+	if wm := s.cfg.ShedWatermark; wm > 0 && s.cfg.Queue.Depth() >= wm {
+		s.metrics.Shed()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrShed)
+		return
+	}
+	id, err := s.cfg.Queue.SubmitSpec(jobs.Spec{Kind: kind, Retries: s.cfg.JobRetries}, fn)
 	switch {
-	case errors.Is(err, jobs.ErrFull):
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "queue full, retry later")
 		return
 	case errors.Is(err, jobs.ErrDraining):
@@ -394,7 +466,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.submit(w, "simulate", func(ctx context.Context) (any, error) {
 		jobStart := time.Now()
-		exp, hit, err := s.cfg.Cache.GetOrBuild(ctx, cfg)
+		exp, hit, bypassed, err := s.baseline(ctx, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -418,6 +490,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			Saturated:             rep.Saturated,
 			SaturatedReps:         rep.SaturatedReps,
 			CacheHit:              hit,
+			CacheBypassed:         bypassed,
 			BaselineNanos:         int64(baselineWall),
 			ScenariosNanos:        int64(scenariosWall),
 		}
@@ -535,11 +608,39 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeError(w, http.StatusNotFound, "unknown job %q", id)
 }
 
+// baseline resolves the experiment for cfg, preferring the shared
+// cache. A cache failure records on the circuit breaker and degrades
+// this job to a direct build; while the breaker is open the cache is
+// skipped outright. Both paths construct the identical experiment —
+// baseline building is deterministic — so degradation never changes
+// results, only cost. Cancellation is passed through untouched: it is
+// the caller stopping, not the cache failing.
+func (s *Server) baseline(ctx context.Context, cfg core.ExperimentConfig) (exp *core.Experiment, hit, bypassed bool, err error) {
+	if s.breaker.Allow() {
+		exp, hit, err = s.cfg.Cache.GetOrBuild(ctx, cfg)
+		if err == nil {
+			s.breaker.Success()
+			return exp, hit, false, nil
+		}
+		if ctx.Err() != nil {
+			return nil, false, false, err
+		}
+		s.breaker.Failure()
+	}
+	s.metrics.CacheBypass()
+	exp, err = core.NewExperiment(cfg)
+	return exp, false, true, err
+}
+
 // maxBodyBytes bounds request bodies; simulation requests are tiny.
 const maxBodyBytes = 1 << 20
 
-// decodeBody parses a JSON request body strictly.
+// decodeBody parses a JSON request body strictly, firing the
+// server.decode fault site first.
 func decodeBody(r *http.Request, v any) error {
+	if err := faultinject.Fire(r.Context(), faultinject.SiteDecode); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {

@@ -18,9 +18,11 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 // Key returns the canonical content hash of a configuration. Two
@@ -181,8 +183,13 @@ func (c *Cache) GetOrBuild(ctx context.Context, cfg core.ExperimentConfig) (exp 
 	c.misses++
 	c.mu.Unlock()
 
-	f.exp, f.err = c.build(cfg)
-	close(f.done)
+	func() {
+		// close runs whatever the builder does — a panicking builder
+		// must not leave every waiter for this key blocked forever on
+		// a flight that never completes.
+		defer close(f.done)
+		f.exp, f.err = c.runBuild(ctx, cfg)
+	}()
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -191,6 +198,40 @@ func (c *Cache) GetOrBuild(ctx context.Context, cfg core.ExperimentConfig) (exp 
 	}
 	c.mu.Unlock()
 	return f.exp, false, f.err
+}
+
+// BuildError is the typed failure of a fill whose builder panicked,
+// with the goroutine stack captured at recovery. It is retryable: a
+// later lookup of the same key re-runs the builder (errors are never
+// cached), and a transient panic heals on the retry.
+type BuildError struct {
+	// PanicValue is the value the builder panicked with.
+	PanicValue any
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("simcache: builder panicked: %v", e.PanicValue)
+}
+
+// Retryable marks the failed fill eligible for retry by the job layer.
+func (e *BuildError) Retryable() bool { return true }
+
+// runBuild executes the builder for one flight: it fires the
+// simcache.fill fault site first and converts a panicking builder into
+// a *BuildError so the flight always completes.
+func (c *Cache) runBuild(ctx context.Context, cfg core.ExperimentConfig) (exp *core.Experiment, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			exp = nil
+			err = &BuildError{PanicValue: r, Stack: string(debug.Stack())}
+		}
+	}()
+	if err := faultinject.Fire(ctx, faultinject.SiteCacheFill); err != nil {
+		return nil, fmt.Errorf("simcache: fill: %w", err)
+	}
+	return c.build(cfg)
 }
 
 // insertLocked adds the entry at the LRU front and evicts from the
