@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test lint staticcheck bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Determinism-and-safety lint suite (docs/LINT.md) plus go vet.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/ceslint ./...
+
+# staticcheck is version-pinned and run in CI (.github/workflows/ci.yml);
+# locally it is optional because the toolchain-only sandbox cannot
+# install it.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not installed; in a networked environment:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@2023.1.7"; \
+		exit 1; }
+	staticcheck ./...
+
+bench:
+	$(GO) test -run=XXX -bench=BenchmarkRepeatedRuns -benchtime=300x .

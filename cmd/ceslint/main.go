@@ -1,0 +1,97 @@
+// Command ceslint runs the repository's determinism-and-safety lint
+// suite (internal/lint): detrand, maporder, ctxflow and senterr, the
+// checks that keep simulation output a pure function of
+// (configuration, seed). See docs/LINT.md.
+//
+// Usage:
+//
+//	ceslint [-list] [packages...]
+//
+// Packages default to ./... relative to the enclosing module. Exit
+// status: 0 clean, 1 diagnostics reported, 2 operational failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/load"
+	"repro/internal/lint/runner"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("ceslint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		filtered := analyzers[:0:0]
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		if len(keep) > 0 {
+			unknown := make([]string, 0, len(keep))
+			for name := range keep {
+				unknown = append(unknown, name)
+			}
+			sort.Strings(unknown)
+			fmt.Fprintf(os.Stderr, "ceslint: unknown analyzer(s) %s (see -list)\n", strings.Join(unknown, ", "))
+			return 2
+		}
+		analyzers = filtered
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceslint:", err)
+		return 2
+	}
+	loader, err := load.Module(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceslint:", err)
+		return 2
+	}
+	pkgs, err := loader.Patterns(fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceslint:", err)
+		return 2
+	}
+	diags, err := runner.Run(loader.Fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ceslint:", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ceslint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRepositoryIsClean is the acceptance smoke test: the full analyzer
+// suite over the real module must report nothing. Equivalent to
+// `go run ./cmd/ceslint ./...` exiting 0.
+func TestRepositoryIsClean(t *testing.T) {
+	if code := run([]string{"./..."}); code != 0 {
+		t.Fatalf("ceslint ./... exited %d on the repository; run `go run ./cmd/ceslint ./...` for the findings", code)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	if code := run([]string{"-list"}); code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+}
+
+func TestUnknownOnlyAnalyzerRejected(t *testing.T) {
+	if code := run([]string{"-only", "nosuchcheck"}); code != 2 {
+		t.Fatalf("unknown -only analyzer exited %d, want 2", code)
+	}
+}
+
+// TestSeededViolationFails proves the CI failure path end to end: a
+// scratch module containing one senterr violation must make ceslint
+// exit 1, and the fixed version exit 0.
+func TestSeededViolationFails(t *testing.T) {
+	root := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("q/q.go", `package q
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+func Match(err error) bool {
+	return err == ErrBoom
+}
+`)
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	if code := run([]string{"./..."}); code != 1 {
+		t.Fatalf("seeded senterr violation exited %d, want 1", code)
+	}
+
+	write("q/q.go", `package q
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+func Match(err error) bool {
+	return errors.Is(err, ErrBoom)
+}
+`)
+	if code := run([]string{"./..."}); code != 0 {
+		t.Fatalf("fixed module exited %d, want 0", code)
+	}
+}

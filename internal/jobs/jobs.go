@@ -21,7 +21,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	insecurerand "math/rand/v2"
+	"hash/fnv"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/rng"
 )
 
 // State is a job's lifecycle position.
@@ -119,7 +120,12 @@ var (
 	// ErrQueueFull reports a bounded queue at capacity. Callers (the
 	// HTTP layer) match it with errors.Is to answer 429.
 	ErrQueueFull = errors.New("jobs: queue full")
-	// ErrFull is a deprecated alias for ErrQueueFull.
+	// ErrFull is an alias for ErrQueueFull kept one release for
+	// external callers; every internal use has been migrated.
+	//
+	// Deprecated: use ErrQueueFull. The senterr analyzer flags any new
+	// internal reference, and the alias will be removed in a follow-up
+	// PR.
 	ErrFull = ErrQueueFull
 	// ErrDraining reports a queue that stopped accepting work.
 	ErrDraining = errors.New("jobs: queue draining")
@@ -177,9 +183,11 @@ type Spec struct {
 // backoff returns the jittered exponential backoff before retry
 // attempt (0-based): uniformly drawn from [d/2, d] where d doubles
 // from BaseBackoff up to MaxBackoff. The jitter decorrelates retry
-// storms; it deliberately does not use the deterministic faultinject
-// streams, since sleep lengths never affect simulation results.
-func (s Spec) backoff(attempt int) time.Duration {
+// storms; jr is a per-job stream seeded from the job id (see
+// jitterStream), so sleep lengths are reproducible given the id —
+// regression note for detrand: this used to draw from the global
+// math/rand/v2 state, the one unseeded entropy source in the module.
+func (s Spec) backoff(attempt int, jr *rng.Source) time.Duration {
 	base, max := s.BaseBackoff, s.MaxBackoff
 	if base <= 0 {
 		base = 10 * time.Millisecond
@@ -198,7 +206,18 @@ func (s Spec) backoff(attempt int) time.Duration {
 	if half <= 0 {
 		return d
 	}
-	return half + time.Duration(insecurerand.Int64N(int64(half)+1))
+	return half + time.Duration(jr.Intn(int(half)+1))
+}
+
+// jitterStream seeds a backoff jitter stream from a job id. Distinct
+// ids land on decorrelated streams (that is all the jitter needs), and
+// the same id always produces the same sleep schedule, keeping retry
+// timing inside the determinism contract the rest of the pipeline
+// honours.
+func jitterStream(id string) *rng.Source {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return rng.New(h.Sum64())
 }
 
 // job is the internal mutable record behind a Snapshot.
@@ -448,6 +467,7 @@ func (q *Queue) run(j *job) {
 		res      any
 		err      error
 		attempts int
+		jitter   *rng.Source
 	)
 	for attempt := 0; ; attempt++ {
 		res, err = q.attempt(ctx, j)
@@ -458,7 +478,10 @@ func (q *Queue) run(j *job) {
 		q.mu.Lock()
 		q.retries++
 		q.mu.Unlock()
-		if !sleepCtx(ctx, j.spec.backoff(attempt)) {
+		if jitter == nil {
+			jitter = jitterStream(j.id)
+		}
+		if !sleepCtx(ctx, j.spec.backoff(attempt, jitter)) {
 			// Canceled or timed out while backing off; the last
 			// failure stands but the job finishes as canceled below.
 			break

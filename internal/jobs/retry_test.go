@@ -200,15 +200,42 @@ func TestCancelQueuedThenWorkerArrives(t *testing.T) {
 
 func TestBackoffBoundedAndJittered(t *testing.T) {
 	s := Spec{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
+	jr := jitterStream("job-backoff-test")
 	for attempt := 0; attempt < 10; attempt++ {
-		d := s.backoff(attempt)
+		d := s.backoff(attempt, jr)
 		if d <= 0 || d > s.MaxBackoff {
 			t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, s.MaxBackoff)
 		}
 	}
 	// Defaults apply when the spec leaves the knobs zero.
-	d := Spec{}.backoff(0)
+	d := Spec{}.backoff(0, jr)
 	if d < 5*time.Millisecond || d > 10*time.Millisecond {
 		t.Fatalf("default first backoff %v outside [5ms, 10ms]", d)
+	}
+}
+
+func TestBackoffDeterministicPerJobID(t *testing.T) {
+	// Regression note for the detrand rework: jitter used to come from
+	// the global math/rand/v2 state; it now derives from the job id, so
+	// the same id must replay the same sleep schedule and distinct ids
+	// must decorrelate.
+	s := Spec{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
+	a1, a2 := jitterStream("job-a"), jitterStream("job-a")
+	b := jitterStream("job-b")
+	same, diff := true, false
+	for attempt := 0; attempt < 8; attempt++ {
+		d1, d2, d3 := s.backoff(attempt, a1), s.backoff(attempt, a2), s.backoff(attempt, b)
+		if d1 != d2 {
+			same = false
+		}
+		if d1 != d3 {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same job id produced different backoff schedules")
+	}
+	if !diff {
+		t.Fatal("distinct job ids produced identical backoff schedules (streams not decorrelated)")
 	}
 }

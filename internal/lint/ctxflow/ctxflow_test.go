@@ -1,0 +1,15 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/ctxflow"
+)
+
+func TestCtxFlow(t *testing.T) {
+	ctxflow.Packages["c"] = true
+	defer delete(ctxflow.Packages, "c")
+	analysistest.Run(t, filepath.Join("testdata", "src", "c"), ctxflow.Analyzer)
+}

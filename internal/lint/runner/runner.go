@@ -1,0 +1,135 @@
+// Package runner executes ceslint analyzers over loaded packages and
+// applies the //ceslint:allow suppression policy: every diagnostic is
+// matched against the directives in its file; surviving diagnostics,
+// malformed directives and directives that suppressed nothing are
+// returned sorted by position.
+package runner
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/directive"
+	"repro/internal/lint/load"
+)
+
+// Diagnostic is one printable finding.
+type Diagnostic struct {
+	// Analyzer names the check that fired ("ceslint" for directive
+	// hygiene findings produced by the runner itself).
+	Analyzer string
+	// Position is the resolved file position.
+	Position token.Position
+	// Message describes the violation.
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Position, d.Analyzer, d.Message)
+}
+
+// Run executes every analyzer on every package and returns the
+// diagnostics that survive suppression, plus directive-hygiene
+// findings. An analyzer returning an error aborts the run.
+func Run(fset *token.FileSet, pkgs []*load.Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := runPackage(fset, pkg, analyzers, known)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, diags...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+func runPackage(fset *token.FileSet, pkg *load.Package, analyzers []*analysis.Analyzer, known map[string]bool) ([]Diagnostic, error) {
+	type fileDirs struct {
+		ds  []*directive.Directive
+		idx *directive.Index
+	}
+	dirs := map[string]*fileDirs{} // by filename
+	var out []Diagnostic
+	for _, f := range pkg.Files {
+		ds, bad := directive.Collect(f)
+		name := fset.Position(f.Pos()).Filename
+		dirs[name] = &fileDirs{ds: ds, idx: directive.NewIndex(fset, ds)}
+		for _, m := range bad {
+			out = append(out, Diagnostic{
+				Analyzer: "ceslint",
+				Position: fset.Position(m.Pos),
+				Message:  m.Message,
+			})
+		}
+		for _, d := range ds {
+			if !known[d.Analyzer] {
+				out = append(out, Diagnostic{
+					Analyzer: "ceslint",
+					Position: fset.Position(d.Pos),
+					Message:  fmt.Sprintf("suppression names unknown analyzer %q", d.Analyzer),
+				})
+				d.Used = true // don't double-report it as unused below
+			}
+		}
+	}
+
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		var raw []analysis.Diagnostic
+		pass.Report = func(d analysis.Diagnostic) { raw = append(raw, d) }
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+		}
+		for _, d := range raw {
+			pos := fset.Position(d.Pos)
+			if fd := dirs[pos.Filename]; fd != nil {
+				if dir := fd.idx.Match(pos.Line, a.Name); dir != nil {
+					dir.Used = true
+					continue
+				}
+			}
+			out = append(out, Diagnostic{Analyzer: a.Name, Position: pos, Message: d.Message})
+		}
+	}
+
+	// A suppression that silenced nothing is dead weight that hides
+	// future regressions; report it so it gets removed.
+	for _, fd := range dirs {
+		for _, d := range fd.ds {
+			if !d.Used {
+				out = append(out, Diagnostic{
+					Analyzer: "ceslint",
+					Position: fset.Position(d.Pos),
+					Message:  fmt.Sprintf("unused suppression for %s (nothing on this or the next line triggers it)", d.Analyzer),
+				})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,147 @@
+package runner_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+	"repro/internal/lint/runner"
+	"repro/internal/lint/senterr"
+)
+
+// check type-checks one in-memory file as package "p" and runs the
+// given analyzers through the runner.
+func check(t *testing.T, src string, analyzers ...*analysis.Analyzer) []runner.Diagnostic {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: importer.Default()}
+	tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &load.Package{Path: "p", Dir: ".", Files: []*ast.File{f}, Types: tpkg, Info: info}
+	diags, err := runner.Run(fset, []*load.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func messages(diags []runner.Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		out = append(out, d.Analyzer+": "+d.Message)
+	}
+	return out
+}
+
+func TestSuppressionConsumesDiagnostic(t *testing.T) {
+	diags := check(t, `package p
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func f(err error) bool {
+	return err == ErrX //ceslint:allow senterr unit test exercises suppression
+}
+`, senterr.Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("suppressed diagnostic leaked: %v", messages(diags))
+	}
+}
+
+func TestUnusedSuppressionReported(t *testing.T) {
+	diags := check(t, `package p
+
+//ceslint:allow senterr nothing here triggers senterr
+func f() {}
+`, senterr.Analyzer)
+	if len(diags) != 1 || diags[0].Analyzer != "ceslint" ||
+		!strings.Contains(diags[0].Message, "unused suppression") {
+		t.Fatalf("diags = %v", messages(diags))
+	}
+}
+
+func TestUnknownAnalyzerInDirectiveReported(t *testing.T) {
+	diags := check(t, `package p
+
+//ceslint:allow nosuchcheck misspelled analyzer names must not silently pass
+func f() {}
+`, senterr.Analyzer)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, `unknown analyzer "nosuchcheck"`) {
+		t.Fatalf("diags = %v", messages(diags))
+	}
+}
+
+func TestMalformedDirectiveReported(t *testing.T) {
+	diags := check(t, `package p
+
+//ceslint:allow senterr
+func f() {}
+`, senterr.Analyzer)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "reason is mandatory") {
+		t.Fatalf("diags = %v", messages(diags))
+	}
+}
+
+func TestSuppressionForOneAnalyzerDoesNotHideAnother(t *testing.T) {
+	// The directive names maporder, so the senterr finding on the same
+	// line must survive, and the maporder directive (running senterr
+	// only here, so "unknown") is flagged too.
+	diags := check(t, `package p
+
+import "errors"
+
+var ErrX = errors.New("x")
+
+func f(err error) bool {
+	return err == ErrX //ceslint:allow nosuch wrong analyzer name
+}
+`, senterr.Analyzer)
+	var sawSenterr, sawUnknown bool
+	for _, d := range diags {
+		if d.Analyzer == "senterr" && strings.Contains(d.Message, "errors.Is") {
+			sawSenterr = true
+		}
+		if strings.Contains(d.Message, "unknown analyzer") {
+			sawUnknown = true
+		}
+	}
+	if !sawSenterr || !sawUnknown {
+		t.Fatalf("diags = %v", messages(diags))
+	}
+}
+
+func TestDiagnosticsSortedByPosition(t *testing.T) {
+	diags := check(t, `package p
+
+import "errors"
+
+var ErrA = errors.New("a")
+var ErrB = errors.New("b")
+
+func f(err error) bool {
+	b := err == ErrB
+	a := err == ErrA
+	return a && b
+}
+`, senterr.Analyzer)
+	if len(diags) != 2 {
+		t.Fatalf("diags = %v", messages(diags))
+	}
+	if diags[0].Position.Line >= diags[1].Position.Line {
+		t.Fatalf("not sorted by position: %v then %v", diags[0].Position, diags[1].Position)
+	}
+}

@@ -1,0 +1,15 @@
+package senterr_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/senterr"
+)
+
+func TestSentErr(t *testing.T) {
+	senterr.DeprecatedAliases["s.ErrOld"] = "s.ErrNew"
+	defer delete(senterr.DeprecatedAliases, "s.ErrOld")
+	analysistest.Run(t, filepath.Join("testdata", "src", "s"), senterr.Analyzer)
+}

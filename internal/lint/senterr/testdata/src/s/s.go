@@ -1,0 +1,76 @@
+// Package s is a senterr fixture: sentinel errors must flow through
+// errors.Is and %w, never identity or message matching.
+package s
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinels following the repo's naming convention.
+var (
+	ErrQueueFull = errors.New("queue full")
+	errInternal  = errors.New("internal")
+	ErrOld       = errors.New("old") // deprecated alias registered by the test
+	ErrNew       = errors.New("new")
+)
+
+func eqCompare(err error) bool {
+	return err == ErrQueueFull // want "sentinel ErrQueueFull compared with =="
+}
+
+func neqCompare(err error) bool {
+	return err != errInternal // want "sentinel errInternal compared with !="
+}
+
+func nilCompareOK(err error) bool {
+	return err == nil
+}
+
+func localCompareOK(err error) bool {
+	errStop := errors.New("stop") // local, not a package-level sentinel
+	return err == errStop
+}
+
+func switchSentinel(err error) string {
+	switch err {
+	case ErrQueueFull: // want "value switch compares by identity"
+		return "full"
+	case nil:
+		return ""
+	}
+	return "other"
+}
+
+func textContains(err error) bool {
+	return strings.Contains(err.Error(), "full") // want "matching err.Error"
+}
+
+func textCompare(err error) bool {
+	return err.Error() == "queue full" // want "comparing err.Error"
+}
+
+func wrapWrongVerb(id string) error {
+	return fmt.Errorf("submit %s: %v", id, ErrQueueFull) // want "wrap it with %w"
+}
+
+func wrapRightVerbOK(id string) error {
+	return fmt.Errorf("submit %s: %w", id, ErrQueueFull)
+}
+
+func errorsIsOK(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, errInternal)
+}
+
+func useDeprecated() error {
+	return ErrOld // want "deprecated sentinel alias ErrOld"
+}
+
+func useReplacementOK() error {
+	return ErrNew
+}
+
+func suppressed(err error) bool {
+	return err == ErrQueueFull //ceslint:allow senterr fixture proves the suppression path
+}
