@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint staticcheck bench
+.PHONY: build test lint staticcheck bench cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -25,3 +25,9 @@ staticcheck:
 
 bench:
 	$(GO) test -run=XXX -bench=BenchmarkRepeatedRuns -benchtime=300x .
+
+# In-process multi-node drill (docs/CLUSTER.md): coordinator + workers,
+# bit-identity vs the sequential campaign, shard fault storm, worker
+# kill mid-lease, cancellation mid-sweep — all under the race detector.
+cluster-smoke:
+	$(GO) test -race -count=1 -run 'TestDistributed|TestWorkerKillMidLease|TestCancelMidDistributedSweep|TestRequestIDsFlowThroughCluster' ./internal/cluster/

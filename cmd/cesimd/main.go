@@ -10,6 +10,13 @@
 //	cesimd -addr :8080 -workers 4 -queue 128 -cache-mb 512 -job-timeout 10m
 //	cesimd -allow-fault-injection -faults faults.json   # chaos drills only
 //
+// Cluster mode (see docs/CLUSTER.md): a coordinator shards campaign
+// sweeps across joined workers and merges results bit-identically to a
+// single-node run.
+//
+//	cesimd -addr :8080 -role coordinator
+//	cesimd -addr :8081 -role worker -join http://coordinator:8080
+//
 //	curl -s localhost:8080/v1/systems | jq .
 //	curl -s -X POST localhost:8080/v1/simulate -d \
 //	  '{"workload":"lulesh","nodes":512,"system":"exascale-cielo-x10","mode":"firmware-emca"}'
@@ -30,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/server"
@@ -52,10 +60,26 @@ func main() {
 		shedMark     = flag.Int("shed-watermark", 0, "queue depth at which new submissions get 503 (0 = disabled)")
 		faultsPath   = flag.String("faults", "", "fault-injection plan (JSON); requires -allow-fault-injection")
 		allowFaults  = flag.Bool("allow-fault-injection", false, "permit -faults (chaos drills; never in production)")
+		role         = flag.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
+		join         = flag.String("join", "", "coordinator URL to join (requires -role worker)")
+		leaseTTL     = flag.Duration("lease-ttl", 10*time.Second, "coordinator: shard lease TTL (heartbeat deadline)")
+		stealAfter   = flag.Duration("steal-after", 2*time.Second, "coordinator: how long a shard waits for its preferred worker")
 	)
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "cesimd: ", log.LstdFlags)
+
+	switch *role {
+	case "", "standalone", "coordinator", "worker":
+	default:
+		logger.Fatalf("unknown -role %q (want standalone, coordinator or worker)", *role)
+	}
+	if *role == "worker" && *join == "" {
+		logger.Fatal("-role worker requires -join <coordinator URL>")
+	}
+	if *role != "worker" && *join != "" {
+		logger.Fatal("-join requires -role worker")
+	}
 
 	// Fault injection is opt-in twice over: the plan flag alone is an
 	// error so a stray -faults can't chaos a production instance.
@@ -80,6 +104,19 @@ func main() {
 		Retain:   *retain,
 	})
 	cache := simcache.New(int64(*cacheMB) << 20)
+
+	// A coordinator mounts the cluster endpoints through the same
+	// middleware stack as the simulate/sweep API, so shed, metrics and
+	// request-id stamping apply to lease traffic too.
+	var routes map[string]http.HandlerFunc
+	if *role == "coordinator" {
+		coord := cluster.NewCoordinator(cluster.Config{
+			LeaseTTL:   *leaseTTL,
+			StealAfter: *stealAfter,
+		})
+		routes = coord.Routes()
+	}
+
 	srv, err := server.New(server.Config{
 		Queue:         queue,
 		Cache:         cache,
@@ -88,6 +125,8 @@ func main() {
 		MaxReps:       *maxReps,
 		JobRetries:    *jobRetries,
 		ShedWatermark: *shedMark,
+		Routes:        routes,
+		Log:           logger,
 	})
 	if err != nil {
 		logger.Fatal(err)
@@ -101,6 +140,33 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// A worker joins the coordinator and pulls shard leases alongside
+	// its local API; both share the queue and baseline cache, so
+	// consistent-hash placement delivers warm cache hits.
+	var workerDone chan struct{}
+	if *role == "worker" {
+		cw, err := cluster.NewWorker(cluster.WorkerConfig{
+			Coordinator: *join,
+			Addr:        *addr,
+			Queue:       queue,
+			Cache:       cache,
+			Log:         logger,
+		})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		workerDone = make(chan struct{})
+		go func() {
+			defer close(workerDone)
+			if err := cw.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				logger.Printf("cluster worker stopped: %v", err)
+			}
+			st := cw.Stats()
+			logger.Printf("cluster worker %s: %d shards done, %d failed, %d leases lost",
+				st.ID, st.ShardsDone, st.ShardsFailed, st.LeasesLost)
+		}()
+	}
 
 	serveErr := make(chan error, 1)
 	go func() {
@@ -119,6 +185,9 @@ func main() {
 	logger.Printf("signal received, draining (grace %s)", *drainTimeout)
 	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if workerDone != nil {
+		<-workerDone // lease loop exits before the queue drains
+	}
 	if err := hs.Shutdown(dctx); err != nil {
 		logger.Printf("http shutdown: %v", err)
 	}

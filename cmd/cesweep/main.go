@@ -7,15 +7,23 @@
 //	cesweep -figure 5                # exascale projections, reduced scale
 //	cesweep -figure 5 -scale paper   # figure-fidelity node counts (slow)
 //	cesweep -figure 3 -workloads lulesh,hpcg -nodes 1024 -reps 8 -csv
+//
+// With -cluster, the figure sweep is sharded across a cesimd worker
+// fleet (see docs/CLUSTER.md); the merged output is bit-identical to a
+// local run with the same options:
+//
+//	cesweep -figure 5 -cluster http://coordinator:8080
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/report"
 )
@@ -33,6 +41,7 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonOut   = flag.Bool("json", false, "emit JSON instead of an aligned table (figures only)")
+		clusterAt = flag.String("cluster", "", "coordinator URL: run the figure sweep on a cesimd cluster (figures 3-7)")
 	)
 	flag.Parse()
 
@@ -44,6 +53,15 @@ func main() {
 	}
 	if selected != 1 {
 		fatal(fmt.Errorf("cesweep: pass exactly one of -figure, -table or -surface"))
+	}
+
+	// Only the sweep figures (3-7) shard into (figure x workload) cells;
+	// Table II, Figure 2 and surfaces are single local computations.
+	if *clusterAt != "" && *figure == "" {
+		fatal(fmt.Errorf("cesweep: -cluster only applies to -figure sweeps"))
+	}
+	if *clusterAt != "" && *figure == "2" {
+		fatal(fmt.Errorf("cesweep: figure 2 is a single local run; -cluster needs figures 3-7"))
 	}
 
 	if *table != "" {
@@ -110,7 +128,14 @@ func main() {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
 	start := time.Now()
-	f, err := driver(opts)
+	var f *core.Figure
+	var err error
+	if *clusterAt != "" {
+		client := &cluster.Client{Base: *clusterAt}
+		f, err = client.Figure(context.Background(), *figure, opts)
+	} else {
+		f, err = driver(opts)
+	}
 	if err != nil {
 		fatal(err)
 	}

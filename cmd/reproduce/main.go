@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 	"repro/internal/core"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		reps  = flag.Int("reps", 0, "repetitions override")
 		seed  = flag.Uint64("seed", 1, "base seed")
 		only  = flag.String("only", "", "comma-separated subset of {2,3,4,5,6,7}")
+		atURL = flag.String("cluster", "", "coordinator URL: run the sweep figures on a cesimd cluster")
 	)
 	flag.Parse()
 
@@ -41,6 +43,11 @@ func main() {
 	cfg := campaign.Config{OutDir: *out, Options: opts, Log: os.Stderr}
 	if *only != "" {
 		cfg.Only = strings.Split(*only, ",")
+	}
+	if *atURL != "" {
+		// Figures 3-7 shard across the cluster; Table II and Figure 2
+		// still run locally. Output stays byte-identical either way.
+		cfg.Runner = &cluster.Client{Base: *atURL}
 	}
 	res, err := campaign.Run(cfg)
 	if err != nil {

@@ -18,6 +18,16 @@ import (
 	"repro/internal/report"
 )
 
+// FigureRunner produces one sweep figure (ids "3".."7"). The default
+// runs the in-process core driver; `cesweep -cluster` installs a
+// cluster.Client instead, so the sweep executes on a worker fleet
+// while the artifact-writing path below stays exactly the same — which
+// is what makes distributed output directories byte-comparable to
+// local ones.
+type FigureRunner interface {
+	Figure(ctx context.Context, id string, opts core.Options) (*core.Figure, error)
+}
+
 // Config selects what to run and where results land.
 type Config struct {
 	// OutDir receives all artifacts; created if missing.
@@ -32,6 +42,10 @@ type Config struct {
 	// Now supplies timestamps for the manifest; nil uses time.Now
 	// (injectable for deterministic tests).
 	Now func() time.Time
+	// Runner executes the sweep figures ("3".."7"); nil runs the
+	// in-process drivers. Figure 2 (the MCA noise signatures) is always
+	// produced locally — it is a single cheap run, not a sweep.
+	Runner FigureRunner
 }
 
 // Artifact describes one produced result.
@@ -131,7 +145,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, err
 		}
 		start = now()
-		f, err := core.Figures()[id](cfg.Options)
+		var f *core.Figure
+		var err error
+		if cfg.Runner != nil {
+			f, err = cfg.Runner.Figure(ctx, id, cfg.Options)
+		} else {
+			f, err = core.Figures()[id](cfg.Options)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("campaign: figure %s: %w", id, err)
 		}

@@ -6,10 +6,13 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 )
 
 func tinyOptions() core.Options {
@@ -137,6 +140,49 @@ func (c *cancelAfter) Write(p []byte) (int, error) {
 		c.cancel()
 	}
 	return len(p), nil
+}
+
+// TestCancelSiteMidSweepDiscardsPartials injects a cancellation inside
+// the repetition loop — mid-sweep, not between artifacts — and checks
+// the aborted figure leaves no partial files, the error surfaces as
+// context.Canceled, and no worker goroutines are left behind.
+func TestCancelSiteMidSweepDiscardsPartials(t *testing.T) {
+	t.Cleanup(faultinject.Disarm)
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	// Every repetition attempt in fig4 observes context.Canceled;
+	// cancellation must stop the run, not burn the retry budget.
+	if err := faultinject.Arm(faultinject.Plan{
+		faultinject.SiteRepetition: {Kind: faultinject.KindCancel, Probability: 1, Seed: 5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Run(Config{OutDir: dir, Options: tinyOptions(), Only: []string{"4"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled from the injected cancel", err)
+	}
+	// The artifact before the sweep survives; the canceled figure left
+	// nothing partial on disk.
+	if _, err := os.Stat(filepath.Join(dir, "table2.txt")); err != nil {
+		t.Fatalf("pre-sweep artifact missing: %v", err)
+	}
+	for _, leftover := range []string{"fig4.txt", "fig4.csv", "fig4.json", "MANIFEST.txt"} {
+		if _, err := os.Stat(filepath.Join(dir, leftover)); err == nil {
+			t.Fatalf("canceled sweep left %s behind", leftover)
+		}
+	}
+	faultinject.Disarm()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= base+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d before", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 func TestRunContextCancelMidCampaign(t *testing.T) {

@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/server"
+)
+
+// Wire types of the coordinator/worker protocol. Figures travel as the
+// exact bytes core.Figure.WriteJSON produces: Go's float64 JSON
+// encoding round-trips bit-exactly, so transport cannot perturb the
+// merged surface.
+
+type registerRequest struct {
+	WorkerID string `json:"worker_id,omitempty"`
+	Addr     string `json:"addr,omitempty"`
+}
+
+type registerResponse struct {
+	WorkerID     string `json:"worker_id"`
+	LeaseTTLNano int64  `json:"lease_ttl_ns"`
+}
+
+type leaseRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// leaseResponse carries the grant, or None when the worker should poll
+// again.
+type leaseResponse struct {
+	None  bool   `json:"none,omitempty"`
+	Grant *Grant `json:"grant,omitempty"`
+}
+
+type heartbeatRequest struct {
+	WorkerID string     `json:"worker_id"`
+	Held     []ShardRef `json:"held,omitempty"`
+}
+
+type heartbeatResponse struct {
+	Drop []ShardRef `json:"drop,omitempty"`
+}
+
+type reportRequest struct {
+	WorkerID string `json:"worker_id"`
+	SweepID  string `json:"sweep_id"`
+	Key      string `json:"key"`
+	// Figure holds the WriteJSON bytes of the cell fragment on success.
+	Figure json.RawMessage `json:"figure,omitempty"`
+	// Error is the failure message; empty means success.
+	Error string `json:"error,omitempty"`
+}
+
+type sweepCreated struct {
+	ID     string `json:"id"`
+	Shards int    `json:"shards"`
+}
+
+// sweepView is the polled sweep state; Figures appears once done.
+type sweepView struct {
+	ID      string                     `json:"id"`
+	State   string                     `json:"state"`
+	Done    int                        `json:"done"`
+	Total   int                        `json:"total"`
+	Error   string                     `json:"error,omitempty"`
+	Figures map[string]json.RawMessage `json:"figures,omitempty"`
+}
+
+// apiError is the protocol error body. Code carries the sentinel as a
+// machine-readable token so the client side can reconstruct
+// errors.Is-able errors without matching message text; RequestID
+// echoes the id the server middleware stamped on the response.
+type apiError struct {
+	Error     string `json:"error"`
+	Code      string `json:"code,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// Wire codes for the protocol sentinels; codeSentinels is the client's
+// inverse map.
+const (
+	codeUnknownWorker = "unknown_worker"
+	codeUnknownSweep  = "unknown_sweep"
+	codeUnknownShard  = "unknown_shard"
+)
+
+var codeSentinels = map[string]error{
+	codeUnknownWorker: ErrUnknownWorker,
+	codeUnknownSweep:  ErrUnknownSweep,
+	codeUnknownShard:  ErrUnknownShard,
+}
+
+// errCode maps an error chain onto its wire code ("" when none).
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrUnknownWorker):
+		return codeUnknownWorker
+	case errors.Is(err, ErrUnknownSweep):
+		return codeUnknownSweep
+	case errors.Is(err, ErrUnknownShard):
+		return codeUnknownShard
+	}
+	return ""
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{
+		Error:     err.Error(),
+		Code:      errCode(err),
+		RequestID: w.Header().Get(server.RequestIDHeader),
+	})
+}
+
+// errStatus maps protocol sentinels to HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownWorker), errors.Is(err, ErrUnknownSweep), errors.Is(err, ErrUnknownShard):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
+}
+
+// Routes exposes the coordinator API as handlers keyed by Go 1.22
+// ServeMux patterns, ready for server.Config.Routes — so cluster
+// traffic flows through the same middleware (metrics accounting, panic
+// recovery, request-id stamping, handler fault site) as the simulate
+// and sweep endpoints.
+func (c *Coordinator) Routes() map[string]http.HandlerFunc {
+	return map[string]http.HandlerFunc{
+		"POST /cluster/register":  c.handleRegister,
+		"POST /cluster/lease":     c.handleLease,
+		"POST /cluster/heartbeat": c.handleHeartbeat,
+		"POST /cluster/report":    c.handleReport,
+		"POST /cluster/sweep":     c.handleCreateSweep,
+		"GET /cluster/sweep/{id}": c.handleGetSweep,
+		"GET /cluster/status":     c.handleStatus,
+	}
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	id, ttl := c.Register(req.WorkerID, req.Addr)
+	writeJSON(w, http.StatusOK, registerResponse{WorkerID: id, LeaseTTLNano: int64(ttl)})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	g, err := c.Lease(req.WorkerID)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	if g == nil {
+		writeJSON(w, http.StatusOK, leaseResponse{None: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, leaseResponse{Grant: g})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	drop, err := c.Heartbeat(req.WorkerID, req.Held)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, heartbeatResponse{Drop: drop})
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	var req reportRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var frag *core.Figure
+	if req.Error == "" {
+		f, err := core.ReadFigureJSON(bytes.NewReader(req.Figure))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		frag = f
+	}
+	if err := c.Report(req.WorkerID, req.SweepID, req.Key, frag, req.Error); err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (c *Coordinator) handleCreateSweep(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if !decode(w, r, &spec) {
+		return
+	}
+	id, shards, err := c.CreateSweep(spec)
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sweepCreated{ID: id, Shards: shards})
+}
+
+func (c *Coordinator) handleGetSweep(w http.ResponseWriter, r *http.Request) {
+	res, err := c.Sweep(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
+	view := sweepView{ID: res.ID, State: res.State, Done: res.Done, Total: res.Total, Error: res.Error}
+	if res.Figures != nil {
+		view.Figures = make(map[string]json.RawMessage, len(res.Figures))
+		for id, f := range res.Figures {
+			var buf bytes.Buffer
+			if err := f.WriteJSON(&buf); err != nil {
+				writeErr(w, http.StatusInternalServerError, err)
+				return
+			}
+			view.Figures[id] = json.RawMessage(buf.Bytes())
+		}
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, c.StatusSnapshot())
+}
+
+// leaseTTL is shared by worker heartbeat pacing; kept here so both
+// sides agree on the wire unit (nanoseconds).
+func leaseTTLFrom(resp registerResponse) time.Duration {
+	return time.Duration(resp.LeaseTTLNano)
+}

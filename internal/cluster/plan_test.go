@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/tracegen"
+)
+
+func TestCellsDeterministicOrder(t *testing.T) {
+	spec := Spec{Figures: []string{"6", "4"}, Workloads: []string{"minife", "hpcg"}}
+	got := spec.Cells()
+	want := []Cell{
+		{Figure: "4", Workload: "minife"},
+		{Figure: "4", Workload: "hpcg"},
+		{Figure: "6", Workload: "minife"},
+		{Figure: "6", Workload: "hpcg"},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("cells = %v, want %v", got, want)
+	}
+	// Enumeration is a pure function of the spec.
+	if again := spec.Cells(); !reflect.DeepEqual(got, again) {
+		t.Fatalf("second enumeration differs: %v vs %v", got, again)
+	}
+}
+
+func TestCellsDefaults(t *testing.T) {
+	cells := Spec{}.Cells()
+	wantLen := 5 * len(tracegen.Names()) // figures 3..7 x full catalog
+	if len(cells) != wantLen {
+		t.Fatalf("default plan has %d cells, want %d", len(cells), wantLen)
+	}
+	if cells[0].Figure != "3" || cells[0].Workload != tracegen.Names()[0] {
+		t.Fatalf("first cell %v, want fig3/%s", cells[0], tracegen.Names()[0])
+	}
+}
+
+func TestCellSeedStableAndDistinct(t *testing.T) {
+	a := CellSeed(1, "fig3/minife")
+	if b := CellSeed(1, "fig3/minife"); a != b {
+		t.Fatalf("CellSeed not stable: %d vs %d", a, b)
+	}
+	seen := map[uint64]string{}
+	for _, cell := range (Spec{}).Cells() {
+		s := CellSeed(42, cell.Key())
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between %s and %s", prev, cell.Key())
+		}
+		seen[s] = cell.Key()
+	}
+}
+
+func TestPlaceConsistency(t *testing.T) {
+	workers := []string{"w1", "w2", "w3", "w4"}
+	keys := tracegen.Names()
+
+	if got := Place("minife", nil); got != "" {
+		t.Fatalf("empty worker list placed on %q", got)
+	}
+	// Stable: same inputs, same placement, regardless of list order.
+	for _, k := range keys {
+		a := Place(k, workers)
+		b := Place(k, []string{"w4", "w3", "w2", "w1"})
+		if a != b {
+			t.Fatalf("placement of %q depends on list order: %q vs %q", k, a, b)
+		}
+	}
+	// Rendezvous property: removing one worker only moves the keys that
+	// were placed on it.
+	for _, gone := range workers {
+		var rest []string
+		for _, w := range workers {
+			if w != gone {
+				rest = append(rest, w)
+			}
+		}
+		for _, k := range keys {
+			before := Place(k, workers)
+			after := Place(k, rest)
+			if before != gone && after != before {
+				t.Fatalf("removing %s moved %q from %s to %s", gone, k, before, after)
+			}
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"empty", Spec{}, true},
+		{"explicit", Spec{Figures: []string{"3", "7"}, Scale: "paper", Workloads: []string{"minife"}}, true},
+		{"bad figure", Spec{Figures: []string{"2"}}, false},
+		{"bad scale", Spec{Scale: "huge"}, false},
+		{"bad workload", Spec{Workloads: []string{"doom"}}, false},
+	}
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); (err == nil) != tc.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", tc.name, err, tc.ok)
+		}
+	}
+}
+
+func TestSpecOptionsRoundTrip(t *testing.T) {
+	spec := Spec{Scale: "paper", Nodes: 32, Iterations: 3, SpanNanos: 7, OpsBudget: 9, Reps: 2, Seed: 11,
+		Workloads: []string{"minife"}}
+	opts := spec.Options()
+	back := SpecFromOptions([]string{"4"}, opts)
+	back.Figures = nil
+	spec.Figures = nil
+	if !reflect.DeepEqual(spec, back) {
+		t.Fatalf("options round-trip drifted:\n spec %+v\n back %+v", spec, back)
+	}
+}

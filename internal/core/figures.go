@@ -64,6 +64,14 @@ type Options struct {
 	Seed uint64
 	// Workloads restricts the workload set (default: all nine).
 	Workloads []string
+	// Experiments optionally supplies prepared experiments to the
+	// figure drivers — e.g. a simcache-backed provider on cluster
+	// workers, so cells sharing a (workload, nodes) point reuse one
+	// resident baseline. nil builds with NewExperiment. Baseline
+	// construction is deterministic, so any correct provider returns
+	// an experiment bit-identical to NewExperiment's and results never
+	// depend on who supplied it.
+	Experiments func(ExperimentConfig) (*Experiment, error) `json:"-"`
 }
 
 func (o Options) withDefaults() Options {
@@ -182,7 +190,11 @@ func (c *expCache) get(workload string, nodes int) (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := NewExperiment(ExperimentConfig{
+	build := c.opts.Experiments
+	if build == nil {
+		build = NewExperiment
+	}
+	e, err := build(ExperimentConfig{
 		Workload:   workload,
 		Nodes:      nodes,
 		Iterations: iters,

@@ -111,6 +111,13 @@ func (c Config) ExpectedOverheadPct() (float64, error) {
 	tau := float64(c.interval())
 	delta := float64(c.Checkpoint)
 	r := float64(c.Restart)
+	if tau <= 0 {
+		// Free checkpoints (delta == 0, no explicit interval) drive
+		// Daly's optimum to zero: continuous checkpointing, where the
+		// tau -> 0 limit of the model leaves restarts as the only
+		// overhead.
+		return 100 * (math.Exp(r/m) - 1), nil
+	}
 	perWork := m * math.Exp(r/m) * (math.Exp((tau+delta)/m) - 1) / tau
 	return 100 * (perWork - 1), nil
 }
@@ -143,6 +150,26 @@ func Simulate(c Config, work int64, seed uint64) (*SimResult, error) {
 	var wall int64
 	var done int64 // completed, checkpointed work
 	nextFailure := int64(src.Exp(m))
+	if tau <= 0 {
+		// Free checkpoints (Checkpoint == 0 with no explicit Interval)
+		// make continuous checkpointing optimal: a failure loses no
+		// work, only the restart. Without this branch the segmented
+		// loop below would make zero progress per iteration.
+		for done < work {
+			if wall+(work-done) <= nextFailure {
+				wall += work - done
+				done = work
+				break
+			}
+			done += nextFailure - wall
+			res.Failures++
+			wall = nextFailure + c.Restart
+			nextFailure = wall + int64(src.Exp(m))
+		}
+		res.WallNanos = wall
+		res.OverheadPct = 100 * (float64(wall) - float64(work)) / float64(work)
+		return res, nil
+	}
 	for done < work {
 		segment := tau
 		if remaining := work - done; remaining < segment {

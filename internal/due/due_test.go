@@ -164,6 +164,33 @@ func TestSimulateFailureFree(t *testing.T) {
 	}
 }
 
+// A zero checkpoint cost with no explicit interval drives Daly's
+// optimum to zero; this used to spin forever in Simulate's segmented
+// loop. The config is one TestQuickSimulateSane actually drew.
+func TestSimulateZeroCheckpointTerminates(t *testing.T) {
+	c := Config{NodeMTBF: 46460 * hour, Nodes: 2604, Checkpoint: 0, Restart: 60 * sec}
+	res, err := Simulate(c, hour, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WallNanos < hour || res.OverheadPct < 0 {
+		t.Fatalf("continuous-checkpoint result out of range: %+v", res)
+	}
+	// Failures cost only the restart: wall = work + failures*restart
+	// plus nothing else, since no work is ever lost.
+	want := hour + int64(res.Failures)*c.Restart
+	if res.WallNanos != want {
+		t.Fatalf("wall = %d, want work + failures*restart = %d", res.WallNanos, want)
+	}
+	pct, err := c.ExpectedOverheadPct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct < 0 || math.IsInf(pct, 0) || math.IsNaN(pct) {
+		t.Fatalf("expected overhead = %v, want finite and non-negative", pct)
+	}
+}
+
 func TestSimulateBadArgs(t *testing.T) {
 	c := Config{NodeMTBF: hour, Nodes: 1}
 	if _, err := Simulate(c, 0, 1); err == nil {

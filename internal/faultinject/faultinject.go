@@ -72,11 +72,16 @@ const (
 	// SiteDecode fires in the request-body decode path
 	// (internal/server).
 	SiteDecode = "server.decode"
+	// SiteClusterShard fires at the start of every cluster shard
+	// execution on a worker (internal/cluster), inside the jobs-queue
+	// recovery scope, so distributed sweeps can be drilled with
+	// worker-side faults.
+	SiteClusterShard = "cluster.shard"
 )
 
 // Sites lists every known injection site, sorted.
 func Sites() []string {
-	s := []string{SiteJobWorker, SiteCacheFill, SiteRepetition, SiteHandler, SiteDecode}
+	s := []string{SiteJobWorker, SiteCacheFill, SiteRepetition, SiteHandler, SiteDecode, SiteClusterShard}
 	sort.Strings(s)
 	return s
 }

@@ -58,14 +58,17 @@ type Func func(ctx context.Context) (any, error)
 // Snapshot is an observer's copy of a job. Result is shared, not
 // deep-copied; treat it as read-only.
 type Snapshot struct {
-	ID       string     `json:"id"`
-	Kind     string     `json:"kind"`
-	State    State      `json:"state"`
-	Created  time.Time  `json:"created"`
-	Started  *time.Time `json:"started,omitempty"`
-	Finished *time.Time `json:"finished,omitempty"`
-	Error    string     `json:"error,omitempty"`
-	Result   any        `json:"result,omitempty"`
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// RequestID is the X-Request-Id of the submission, when one was
+	// attached (Spec.RequestID).
+	RequestID string     `json:"request_id,omitempty"`
+	State     State      `json:"state"`
+	Created   time.Time  `json:"created"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	Result    any        `json:"result,omitempty"`
 	// Attempts is how many times the job body ran (1 + retries used).
 	Attempts int `json:"attempts,omitempty"`
 	// Stack is the captured goroutine stack when the job failed
@@ -119,14 +122,11 @@ type Config struct {
 var (
 	// ErrQueueFull reports a bounded queue at capacity. Callers (the
 	// HTTP layer) match it with errors.Is to answer 429.
-	ErrQueueFull = errors.New("jobs: queue full")
-	// ErrFull is an alias for ErrQueueFull kept one release for
-	// external callers; every internal use has been migrated.
 	//
-	// Deprecated: use ErrQueueFull. The senterr analyzer flags any new
-	// internal reference, and the alias will be removed in a follow-up
-	// PR.
-	ErrFull = ErrQueueFull
+	// The deprecated ErrFull alias was removed after its one-release
+	// grace period; senterr.DeprecatedAliases still maps it so any
+	// reintroduction is flagged by the lint suite.
+	ErrQueueFull = errors.New("jobs: queue full")
 	// ErrDraining reports a queue that stopped accepting work.
 	ErrDraining = errors.New("jobs: queue draining")
 )
@@ -170,6 +170,10 @@ func (e *JobError) Retryable() bool { return true }
 type Spec struct {
 	// Kind labels the job for observers.
 	Kind string
+	// RequestID correlates the job with the HTTP request (or cluster
+	// shard attempt) that submitted it; surfaced in Snapshot so
+	// cross-node lease traffic can be traced end to end.
+	RequestID string
 	// Retries is how many times a retryable failure is re-run after
 	// the first attempt; 0 disables retry.
 	Retries int
@@ -180,14 +184,16 @@ type Spec struct {
 	MaxBackoff time.Duration
 }
 
-// backoff returns the jittered exponential backoff before retry
+// Backoff returns the jittered exponential backoff before retry
 // attempt (0-based): uniformly drawn from [d/2, d] where d doubles
 // from BaseBackoff up to MaxBackoff. The jitter decorrelates retry
 // storms; jr is a per-job stream seeded from the job id (see
 // jitterStream), so sleep lengths are reproducible given the id —
 // regression note for detrand: this used to draw from the global
 // math/rand/v2 state, the one unseeded entropy source in the module.
-func (s Spec) backoff(attempt int, jr *rng.Source) time.Duration {
+// Exported so other retry loops (the cluster coordinator's shard
+// re-offers) share the same backoff discipline.
+func (s Spec) Backoff(attempt int, jr *rng.Source) time.Duration {
 	base, max := s.BaseBackoff, s.MaxBackoff
 	if base <= 0 {
 		base = 10 * time.Millisecond
@@ -234,6 +240,7 @@ type job struct {
 	attempts int
 	result   any
 	cancel   context.CancelFunc // set while running
+	done     chan struct{}      // closed on terminal transition
 }
 
 // Queue runs submitted jobs on a worker pool. Construct with New.
@@ -298,6 +305,7 @@ func (q *Queue) SubmitSpec(spec Spec, fn Func) (string, error) {
 		fn:      fn,
 		state:   Queued,
 		created: time.Now(),
+		done:    make(chan struct{}),
 	}
 	q.mu.Lock()
 	if q.draining {
@@ -343,14 +351,15 @@ func (q *Queue) Get(id string) (Snapshot, bool) {
 
 func snapshotLocked(j *job) Snapshot {
 	s := Snapshot{
-		ID:       j.id,
-		Kind:     j.spec.Kind,
-		State:    j.state,
-		Created:  j.created,
-		Error:    j.err,
-		Result:   j.result,
-		Attempts: j.attempts,
-		Stack:    j.stack,
+		ID:        j.id,
+		Kind:      j.spec.Kind,
+		RequestID: j.spec.RequestID,
+		State:     j.state,
+		Created:   j.created,
+		Error:     j.err,
+		Result:    j.result,
+		Attempts:  j.attempts,
+		Stack:     j.stack,
 	}
 	if !j.started.IsZero() {
 		t := j.started
@@ -382,6 +391,31 @@ func (q *Queue) Cancel(id string) bool {
 		j.cancel()
 	}
 	return true
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// final snapshot, or ctx.Err() if ctx expires first (the job keeps
+// running). Unknown (or already forgotten) ids return ok=false
+// immediately. Cluster workers use this to run shard work through the
+// queue — panic recovery, retries and metrics included — without
+// polling.
+func (q *Queue) Wait(ctx context.Context, id string) (Snapshot, bool, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if !ok {
+		q.mu.Unlock()
+		return Snapshot{}, false, nil
+	}
+	done := j.done
+	q.mu.Unlock()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return Snapshot{}, true, ctx.Err()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return snapshotLocked(j), true, nil
 }
 
 // Depth returns the number of jobs waiting for a worker.
@@ -481,7 +515,7 @@ func (q *Queue) run(j *job) {
 		if jitter == nil {
 			jitter = jitterStream(j.id)
 		}
-		if !sleepCtx(ctx, j.spec.backoff(attempt, jitter)) {
+		if !sleepCtx(ctx, j.spec.Backoff(attempt, jitter)) {
 			// Canceled or timed out while backing off; the last
 			// failure stands but the job finishes as canceled below.
 			break
@@ -554,6 +588,9 @@ func (q *Queue) finishLocked(j *job, s State, err error) {
 	}
 	j.state = s
 	j.finished = time.Now()
+	if j.done != nil {
+		close(j.done)
+	}
 	if err != nil {
 		j.err = err.Error()
 	}

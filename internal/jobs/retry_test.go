@@ -202,13 +202,13 @@ func TestBackoffBoundedAndJittered(t *testing.T) {
 	s := Spec{BaseBackoff: 10 * time.Millisecond, MaxBackoff: 80 * time.Millisecond}
 	jr := jitterStream("job-backoff-test")
 	for attempt := 0; attempt < 10; attempt++ {
-		d := s.backoff(attempt, jr)
+		d := s.Backoff(attempt, jr)
 		if d <= 0 || d > s.MaxBackoff {
 			t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, s.MaxBackoff)
 		}
 	}
 	// Defaults apply when the spec leaves the knobs zero.
-	d := Spec{}.backoff(0, jr)
+	d := Spec{}.Backoff(0, jr)
 	if d < 5*time.Millisecond || d > 10*time.Millisecond {
 		t.Fatalf("default first backoff %v outside [5ms, 10ms]", d)
 	}
@@ -224,7 +224,7 @@ func TestBackoffDeterministicPerJobID(t *testing.T) {
 	b := jitterStream("job-b")
 	same, diff := true, false
 	for attempt := 0; attempt < 8; attempt++ {
-		d1, d2, d3 := s.backoff(attempt, a1), s.backoff(attempt, a2), s.backoff(attempt, b)
+		d1, d2, d3 := s.Backoff(attempt, a1), s.Backoff(attempt, a2), s.Backoff(attempt, b)
 		if d1 != d2 {
 			same = false
 		}

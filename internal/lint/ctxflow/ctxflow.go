@@ -43,6 +43,7 @@ var Packages = map[string]bool{
 	"repro/internal/simcache": true,
 	"repro/internal/core":     true,
 	"repro/internal/campaign": true,
+	"repro/internal/cluster":  true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {

@@ -48,6 +48,7 @@ var Packages = map[string]bool{
 	"repro/internal/simcache":    true,
 	"repro/internal/campaign":    true,
 	"repro/internal/systems":     true,
+	"repro/internal/cluster":     true,
 }
 
 // emitMethods are method names whose call inside a map-range body means

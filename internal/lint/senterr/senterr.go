@@ -37,7 +37,10 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // DeprecatedAliases maps "pkgpath.Name" of retired sentinel aliases to
-// the replacement to suggest. Tests may add fixture entries.
+// the replacement to suggest. Entries outlive the alias itself:
+// jobs.ErrFull has been deleted from the codebase, and its entry stays
+// so any reintroduction (or a stale branch referencing it) is flagged
+// immediately. Tests may add fixture entries.
 var DeprecatedAliases = map[string]string{
 	"repro/internal/jobs.ErrFull": "jobs.ErrQueueFull",
 }

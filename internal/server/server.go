@@ -18,10 +18,14 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -63,6 +67,15 @@ type Config struct {
 	BreakerThreshold int
 	BreakerWindow    int
 	BreakerCooldown  time.Duration
+	// Routes adds extra endpoints — the cluster coordinator's
+	// register/lease/report API — registered through the same
+	// middleware as the built-in ones: request accounting, panic
+	// recovery, request-id stamping and the server.handler fault site.
+	// Keys are Go 1.22 ServeMux patterns ("POST /cluster/lease").
+	Routes map[string]http.HandlerFunc
+	// Log receives operational lines (failed requests with their
+	// request ids); nil discards them.
+	Log *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +127,14 @@ func New(cfg Config) (*Server, error) {
 	s.handle("POST /v1/sweep", s.handleSweep)
 	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
 	s.handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	patterns := make([]string, 0, len(cfg.Routes))
+	for p := range cfg.Routes {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns) // deterministic registration (and conflict) order
+	for _, p := range patterns {
+		s.handle(p, cfg.Routes[p])
+	}
 	return s, nil
 }
 
@@ -149,13 +170,53 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
-// handle registers a route with request accounting, panic recovery and
-// the server.handler fault site. pattern must be "METHOD /path" (Go
-// 1.22 ServeMux syntax). A panicking handler is converted into a 500
-// instead of killing the connection (and, with http.Server, being
-// rethrown by the net/http panic handler).
+// RequestIDHeader carries the request id on the wire. Inbound values
+// are trusted and propagated (so a cluster worker's shard attempt and
+// the coordinator's handler logs share one id); absent, the middleware
+// generates one.
+const RequestIDHeader = "X-Request-Id"
+
+// ridKey is the context key for the request id.
+type ridKey struct{}
+
+// WithRequestID returns ctx carrying the request id.
+func WithRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, ridKey{}, rid)
+}
+
+// RequestIDFrom returns the request id carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey{}).(string)
+	return rid
+}
+
+// maxRequestIDLen bounds inbound request ids so a hostile header cannot
+// bloat logs or job records.
+const maxRequestIDLen = 64
+
+// NewRequestID mints a fresh request id (12 hex chars of entropy).
+func NewRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Unreachable in practice; a constant id keeps requests served.
+		return "r-norand"
+	}
+	return "r-" + hex.EncodeToString(b[:])
+}
+
+// handle registers a route with request accounting, request-id
+// stamping, panic recovery and the server.handler fault site. pattern
+// must be "METHOD /path" (Go 1.22 ServeMux syntax). A panicking handler
+// is converted into a 500 instead of killing the connection (and, with
+// http.Server, being rethrown by the net/http panic handler).
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		rid := r.Header.Get(RequestIDHeader)
+		if rid == "" || len(rid) > maxRequestIDLen {
+			rid = NewRequestID()
+		}
+		w.Header().Set(RequestIDHeader, rid)
+		r = r.WithContext(WithRequestID(r.Context(), rid))
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		func() {
@@ -174,6 +235,9 @@ func (s *Server) handle(pattern string, h http.HandlerFunc) {
 			}
 			h(rec, r)
 		}()
+		if rec.status >= 400 && s.cfg.Log != nil {
+			s.cfg.Log.Printf("%s -> %d rid=%s", pattern, rec.status, rid)
+		}
 		s.metrics.Request(pattern, rec.status, time.Since(start))
 	})
 }
@@ -187,13 +251,19 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) // header already sent; nothing useful to do on error
 }
 
-// errorBody is every non-2xx response payload.
+// errorBody is every non-2xx response payload. RequestID echoes the
+// X-Request-Id the middleware stamped, so clients can quote one token
+// when reporting a failure.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, errorBody{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(RequestIDHeader),
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -430,14 +500,15 @@ type submitted struct {
 	Poll  string     `json:"poll"`
 }
 
-func (s *Server) submit(w http.ResponseWriter, kind string, fn jobs.Func) {
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, fn jobs.Func) {
 	if wm := s.cfg.ShedWatermark; wm > 0 && s.cfg.Queue.Depth() >= wm {
 		s.metrics.Shed()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", ErrShed)
 		return
 	}
-	id, err := s.cfg.Queue.SubmitSpec(jobs.Spec{Kind: kind, Retries: s.cfg.JobRetries}, fn)
+	spec := jobs.Spec{Kind: kind, RequestID: RequestIDFrom(r.Context()), Retries: s.cfg.JobRetries}
+	id, err := s.cfg.Queue.SubmitSpec(spec, fn)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
@@ -464,7 +535,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.submit(w, "simulate", func(ctx context.Context) (any, error) {
+	s.submit(w, r, "simulate", func(ctx context.Context) (any, error) {
 		jobStart := time.Now()
 		exp, hit, bypassed, err := s.baseline(ctx, cfg)
 		if err != nil {
@@ -566,7 +637,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	opts.Workloads = req.Workloads
-	s.submit(w, "sweep", func(ctx context.Context) (any, error) {
+	s.submit(w, r, "sweep", func(ctx context.Context) (any, error) {
 		// Figure drivers do not take a context yet; honor cancellation
 		// at the job boundary.
 		if err := ctx.Err(); err != nil {

@@ -253,6 +253,20 @@ func (c *Cache) insertLocked(key string, exp *core.Experiment) {
 	}
 }
 
+// Provider adapts the cache to core.Options.Experiments: a builder
+// that serves baselines from the cache, building and inserting on a
+// miss. ctx bounds waiting on a concurrent fill of the same key (the
+// build itself is never interrupted; see GetOrBuild). Cluster workers
+// install this so shards sharing a (workload, nodes) point — which
+// consistent-hash placement steers to the same worker — pay baseline
+// preparation once.
+func (c *Cache) Provider(ctx context.Context) func(core.ExperimentConfig) (*core.Experiment, error) {
+	return func(cfg core.ExperimentConfig) (*core.Experiment, error) {
+		exp, _, err := c.GetOrBuild(ctx, cfg)
+		return exp, err
+	}
+}
+
 // Len returns the number of cached baselines.
 func (c *Cache) Len() int {
 	c.mu.Lock()
