@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint staticcheck bench cluster-smoke
+.PHONY: build test lint staticcheck bench cluster-smoke advisor-smoke
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,13 @@ bench:
 # kill mid-lease, cancellation mid-sweep — all under the race detector.
 cluster-smoke:
 	$(GO) test -race -count=1 -run 'TestDistributed|TestWorkerKillMidLease|TestCancelMidDistributedSweep|TestRequestIDsFlowThroughCluster' ./internal/cluster/
+
+# Advisor smoke (docs/ADVISOR.md): boot the daemon stack, ingest the
+# canned NDJSON CE stream, and require the recommendation to match the
+# committed golden byte-for-byte — plus the permuted-ingest determinism
+# and ingest-fault chaos drills. Regenerate the golden after an
+# intentional policy change with:
+#   go test -run TestAdvisorSmokeGolden ./internal/server/ -update-advisor-golden
+advisor-smoke:
+	$(GO) test -race -count=1 -run 'TestAdvisorSmokeGolden|TestAdviseIngestChaos' ./internal/server/
+	$(GO) test -race -count=1 -run 'TestRecommendDeterminismPermutedBatches' ./internal/advise/

@@ -1,88 +1,200 @@
 // advisor turns the paper's analysis into prescriptive guidance: given
-// a logging mode, machine size and workload, how unreliable may the
-// DRAM be (minimum MTBCE per node, maximum CEs/GiB/year) before CE
-// logging costs more than an overhead budget?
+// a machine size, workload and overhead budget, how unreliable may the
+// DRAM be (minimum MTBCE per node, maximum CEs/GiB/year) under each CE
+// logging mode — and, when an observed MTBCE is supplied, which mode,
+// page-retirement setting and checkpoint interval to run with.
 //
 // This is the paper's conclusion quantified: "If Firmware First CE
 // reporting is used on future systems, the MTBCE(node) for an exascale
 // system should not drop below 5,544-3,024 seconds".
 //
+// The same policy engine powers GET /v1/advise/recommend on cesimd;
+// -json emits the identical machine-readable Recommendation struct
+// (docs/ADVISOR.md).
+//
 // Examples:
 //
 //	advisor -mode firmware-emca -nodes 16384 -gib 700 -budget 10
-//	advisor -mode software-cmci -workload hpcg -nodes 16384 -gib 700
+//	advisor -workload hpcg -nodes 16384 -gib 700 -mtbce 1h -fault row
 //	advisor -perevent 7ms -workload lulesh -nodes 4096 -gib 512 -budget 5
+//	advisor -nodes 16384 -mtbce 90m -json | jq .recommended_mode
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
-	"repro/internal/predict"
+	"repro/internal/advise"
 	"repro/internal/report"
+	"repro/internal/retire"
 	"repro/internal/systems"
 	"repro/internal/tracegen"
 )
 
 func main() {
 	var (
-		mode     = flag.String("mode", "firmware-emca", "logging mode (hardware-only, software-cmci, firmware-emca)")
-		perEvent = flag.Duration("perevent", 0, "explicit per-CE handling time (overrides -mode)")
+		mode     = flag.String("mode", "firmware-emca", "logging mode the Table II verdicts assume (hardware-only, software-cmci, firmware-emca)")
+		perEvent = flag.Duration("perevent", 0, "explicit per-CE handling time (replaces the catalog modes)")
 		workload = flag.String("workload", "lulesh", "workload whose synchronization cadence to assume")
 		nodes    = flag.Int("nodes", 16384, "machine size in nodes")
 		gib      = flag.Float64("gib", 700, "DRAM GiB per node (for the CE/GiB/year conversion)")
 		budget   = flag.Float64("budget", 10, "acceptable slowdown in percent")
+		mtbce    = flag.Duration("mtbce", 0, "observed per-node MTBCE (enables the recommendation, retirement and checkpoint sections)")
+		fault    = flag.String("fault", "", "classified fault mode for retirement advice (cell, row, column, bank)")
+		jsonOut  = flag.Bool("json", false, "emit the machine-readable recommendation (same struct as GET /v1/advise/recommend)")
 	)
 	flag.Parse()
 
-	perEventNanos := int64(*perEvent)
-	if perEventNanos == 0 {
-		m, err := systems.LoggingModeByName(*mode)
+	if err := validateFlags(*mode, *workload, *fault, *nodes, *gib, *budget, *perEvent, *mtbce); err != nil {
+		fatal(err)
+	}
+
+	in := advise.Inputs{
+		Workload:           *workload,
+		Nodes:              *nodes,
+		BudgetPct:          *budget,
+		GiBPerNode:         *gib,
+		PerEventNanos:      int64(*perEvent),
+		ObservedMTBCENanos: int64(*mtbce),
+	}
+	if *fault != "" {
+		kind, err := retire.ParseKind(*fault)
 		if err != nil {
+			fatal(err) // unreachable: validateFlags vetted it
+		}
+		// Operator-asserted fault mode: full confidence.
+		in.FaultKnown = true
+		in.Fault = kind
+		in.FaultConfidence = 1
+	}
+
+	rec, err := advise.Advise(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rec); err != nil {
 			fatal(err)
 		}
-		perEventNanos = m.PerEventNanos
+		return
 	}
-	spec, err := tracegen.Lookup(*workload)
-	if err != nil {
-		fatal(err)
-	}
-	sync := predict.SyncInterval(spec)
-
-	res, err := predict.Budget(*nodes, perEventNanos, sync, *budget, *gib)
-	if err != nil {
-		fatal(err)
-	}
-
-	t := report.New(fmt.Sprintf("advisor: %s on %d nodes, %s cadence, %.0f%% budget",
-		*workload, *nodes, report.Nanos(sync), *budget),
-		"metric", "value")
-	t.AddRow("per-event-cost", report.Nanos(perEventNanos))
-	t.AddRow("min-mtbce-node", report.Nanos(res.MinMTBCENanos))
-	t.AddRow("max-ce/node/year", fmt.Sprintf("%.1f", res.MaxCEPerNodeYear))
-	t.AddRow("max-ce/gib/year", fmt.Sprintf("%.2f", res.MaxCEPerGiBYear))
-	t.AddRow("vs-cielo-rate", fmt.Sprintf("%.1fx", res.VsCielo))
-	if err := t.WriteASCII(os.Stdout); err != nil {
-		fatal(err)
-	}
-
-	fmt.Println()
-	t2 := report.New("Table II systems against this requirement", "system", "mtbce-node", "verdict")
-	mtbceSec := float64(res.MinMTBCENanos) / 1e9
-	for _, s := range systems.Simulated() {
-		verdict := "OK"
-		if s.MTBCESeconds < mtbceSec {
-			verdict = fmt.Sprintf("exceeds budget (needs >= %.0fs)", mtbceSec)
-		}
-		t2.AddRow(s.Name, fmt.Sprintf("%.1fs", s.MTBCESeconds), verdict)
-	}
-	if err := t2.WriteASCII(os.Stdout); err != nil {
+	if err := render(os.Stdout, rec, *mode, *perEvent != 0); err != nil {
 		fatal(err)
 	}
 }
 
+// validateFlags rejects bad parameters before any work happens, so a
+// typo fails fast with a targeted message instead of surfacing from
+// deep inside the policy engine.
+func validateFlags(mode, workload, fault string, nodes int, gib, budget float64, perEvent, mtbce time.Duration) error {
+	if nodes <= 0 {
+		return fmt.Errorf("advisor: -nodes must be positive, got %d", nodes)
+	}
+	if gib <= 0 {
+		return fmt.Errorf("advisor: -gib must be positive, got %v", gib)
+	}
+	if budget <= 0 {
+		return fmt.Errorf("advisor: -budget must be positive, got %v", budget)
+	}
+	if perEvent < 0 {
+		return fmt.Errorf("advisor: -perevent must be non-negative, got %v", perEvent)
+	}
+	if mtbce < 0 {
+		return fmt.Errorf("advisor: -mtbce must be non-negative, got %v", mtbce)
+	}
+	if perEvent == 0 {
+		if _, err := systems.LoggingModeByName(mode); err != nil {
+			return fmt.Errorf("advisor: -mode: %v", err)
+		}
+	}
+	if fault != "" {
+		if _, err := retire.ParseKind(fault); err != nil {
+			return fmt.Errorf("advisor: -fault: %v", err)
+		}
+	}
+	if _, err := tracegen.Lookup(workload); err != nil {
+		return fmt.Errorf("advisor: -workload: %v", err)
+	}
+	return nil
+}
+
+// render writes the human-readable tables. verdictMode names the
+// logging mode the Table II verdict table assumes ("custom" when an
+// explicit per-event cost replaced the catalog).
+func render(w *os.File, rec *advise.Recommendation, verdictMode string, custom bool) error {
+	t := report.New(fmt.Sprintf("advisor: %s on %d nodes, %s cadence, %.0f%% budget",
+		rec.Workload, rec.Nodes, report.Nanos(rec.SyncIntervalNanos), rec.BudgetPct),
+		"mode", "per-event", "min-mtbce-node", "max-ce/node/yr", "max-ce/gib/yr", "vs-cielo", "verdict")
+	for _, m := range rec.Modes {
+		verdict := ""
+		if !m.Feasible {
+			verdict = "infeasible at any CE rate"
+		} else if m.Satisfied != nil {
+			if *m.Satisfied {
+				verdict = "observed MTBCE clears floor"
+			} else {
+				verdict = "observed MTBCE below floor"
+			}
+		}
+		t.AddRow(m.Mode, report.Nanos(m.PerEventNanos), report.Nanos(m.MinMTBCENanos),
+			fmt.Sprintf("%.1f", m.MaxCEPerNodeYear), fmt.Sprintf("%.2f", m.MaxCEPerGiBYear),
+			fmt.Sprintf("%.1fx", m.VsCielo), verdict)
+	}
+	if err := t.WriteASCII(w); err != nil {
+		return err
+	}
+
+	if rec.ObservedMTBCENanos > 0 {
+		fmt.Fprintf(w, "\nobserved MTBCE %s -> recommended mode: %s\n",
+			report.Nanos(rec.ObservedMTBCENanos), rec.RecommendedMode)
+		if r := rec.Retirement; r != nil {
+			fmt.Fprintf(w, "page retirement: worth=%t (%s)\n", r.Worth, r.Reason)
+		}
+		if c := rec.Checkpoint; c != nil {
+			fmt.Fprintf(w, "checkpointing: system MTBF %s -> Daly interval %s (overhead %.1f%%)\n",
+				report.Nanos(c.SystemMTBFNanos), report.Nanos(c.DalyNanos), c.OverheadPct)
+		}
+	}
+
+	if custom {
+		verdictMode = "custom"
+	}
+	var floor int64
+	feasible := false
+	for _, m := range rec.Modes {
+		if m.Mode == verdictMode {
+			floor, feasible = m.MinMTBCENanos, m.Feasible
+		}
+	}
+	fmt.Fprintln(w)
+	t2 := report.New(fmt.Sprintf("Table II systems against the %s requirement", verdictMode),
+		"system", "mtbce-node", "verdict")
+	mtbceSec := float64(floor) / 1e9
+	for _, s := range systems.Simulated() {
+		verdict := "OK"
+		switch {
+		case !feasible:
+			verdict = "infeasible mode"
+		case s.MTBCESeconds < mtbceSec:
+			verdict = fmt.Sprintf("exceeds budget (needs >= %.0fs)", mtbceSec)
+		}
+		t2.AddRow(s.Name, fmt.Sprintf("%.1fs", s.MTBCESeconds), verdict)
+	}
+	return t2.WriteASCII(w)
+}
+
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
+	msg := err.Error()
+	if !strings.HasPrefix(msg, "advisor: ") {
+		msg = "advisor: " + msg
+	}
+	fmt.Fprintln(os.Stderr, msg)
 	os.Exit(1)
 }

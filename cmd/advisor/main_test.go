@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/advise"
+)
+
+func TestValidateFlagsRejectsBadInputs(t *testing.T) {
+	ok := func() (string, string, string, int, float64, float64, time.Duration, time.Duration) {
+		return "firmware-emca", "lulesh", "", 16384, 700, 10, 0, 0
+	}
+	cases := []struct {
+		name     string
+		mutate   func(*string, *string, *string, *int, *float64, *float64, *time.Duration, *time.Duration)
+		wantFrag string
+	}{
+		{"zero nodes", func(m, w, f *string, n *int, g, b *float64, p, o *time.Duration) { *n = 0 }, "-nodes"},
+		{"negative nodes", func(m, w, f *string, n *int, g, b *float64, p, o *time.Duration) { *n = -4 }, "-nodes"},
+		{"zero gib", func(m, w, f *string, n *int, g, b *float64, p, o *time.Duration) { *g = 0 }, "-gib"},
+		{"negative budget", func(m, w, f *string, n *int, g, b *float64, p, o *time.Duration) { *b = -1 }, "-budget"},
+		{"unknown mode", func(m, w, f *string, n *int, g, b *float64, p, o *time.Duration) { *m = "telepathy" }, "-mode"},
+		{"unknown workload", func(m, w, f *string, n *int, g, b *float64, p, o *time.Duration) { *w = "doom" }, "-workload"},
+		{"unknown fault", func(m, w, f *string, n *int, g, b *float64, p, o *time.Duration) { *f = "gremlin" }, "-fault"},
+		{"negative perevent", func(m, w, f *string, n *int, g, b *float64, p, o *time.Duration) { *p = -time.Second }, "-perevent"},
+		{"negative mtbce", func(m, w, f *string, n *int, g, b *float64, p, o *time.Duration) { *o = -time.Second }, "-mtbce"},
+	}
+	for _, tc := range cases {
+		mode, workload, fault, nodes, gib, budget, perEvent, mtbce := ok()
+		tc.mutate(&mode, &workload, &fault, &nodes, &gib, &budget, &perEvent, &mtbce)
+		err := validateFlags(mode, workload, fault, nodes, gib, budget, perEvent, mtbce)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantFrag) {
+			t.Errorf("%s: error %q does not name the flag %q", tc.name, err, tc.wantFrag)
+		}
+	}
+}
+
+func TestValidateFlagsAccepts(t *testing.T) {
+	cases := []struct {
+		name        string
+		mode, wl, f string
+		perEvent    time.Duration
+	}{
+		{"catalog mode", "firmware-emca", "lulesh", "", 0},
+		{"explicit perevent ignores mode", "not-a-mode-but-unused", "hpcg", "", 7 * time.Millisecond},
+		{"fault kinds", "software-cmci", "milc", "row", 0},
+	}
+	for _, tc := range cases {
+		if err := validateFlags(tc.mode, tc.wl, tc.f, 1024, 512, 5, tc.perEvent, time.Hour); err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+		}
+	}
+}
+
+// TestJSONOutputMatchesEngine: the -json path emits exactly what
+// advise.Advise computes — the same struct the service endpoint
+// serves — so scripts can consume either interchangeably.
+func TestJSONOutputMatchesEngine(t *testing.T) {
+	in := advise.Inputs{
+		Workload: "lulesh", Nodes: 4096, BudgetPct: 10, GiBPerNode: 512,
+		ObservedMTBCENanos: int64(2 * time.Hour),
+	}
+	rec, err := advise.Advise(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.RecommendedMode == "" || len(rec.Modes) != 3 {
+		t.Fatalf("engine output unusable for the CLI: %+v", rec)
+	}
+	if rec.Estimate != nil {
+		t.Fatal("offline evaluation must not fabricate a node estimate")
+	}
+}

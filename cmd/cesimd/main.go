@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/advise"
 	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
@@ -60,10 +61,17 @@ func main() {
 		shedMark     = flag.Int("shed-watermark", 0, "queue depth at which new submissions get 503 (0 = disabled)")
 		faultsPath   = flag.String("faults", "", "fault-injection plan (JSON); requires -allow-fault-injection")
 		allowFaults  = flag.Bool("allow-fault-injection", false, "permit -faults (chaos drills; never in production)")
-		role         = flag.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
-		join         = flag.String("join", "", "coordinator URL to join (requires -role worker)")
-		leaseTTL     = flag.Duration("lease-ttl", 10*time.Second, "coordinator: shard lease TTL (heartbeat deadline)")
-		stealAfter   = flag.Duration("steal-after", 2*time.Second, "coordinator: how long a shard waits for its preferred worker")
+		advisor      = flag.Bool("advisor", true, "mount the mitigation advisor (/v1/advise, docs/ADVISOR.md)")
+		advTenants   = flag.Int("advise-tenants", 1024, "advisor: max distinct tenants tracked")
+		advNodes     = flag.Int("advise-nodes-per-tenant", 4096, "advisor: max tracked nodes per tenant")
+		advBatch     = flag.Int("advise-batch", 10000, "advisor: max events per ingest batch")
+		advCache     = flag.Int("advise-cache", 1024, "advisor: recommendation cache entries (negative = disabled)")
+		advHalfLife  = flag.Duration("advise-half-life", 4*time.Hour, "advisor: estimator decay half-life")
+
+		role       = flag.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
+		join       = flag.String("join", "", "coordinator URL to join (requires -role worker)")
+		leaseTTL   = flag.Duration("lease-ttl", 10*time.Second, "coordinator: shard lease TTL (heartbeat deadline)")
+		stealAfter = flag.Duration("steal-after", 2*time.Second, "coordinator: how long a shard waits for its preferred worker")
 	)
 	flag.Parse()
 
@@ -117,6 +125,21 @@ func main() {
 		routes = coord.Routes()
 	}
 
+	// The advisor is on by default: it holds only bounded in-memory
+	// state and costs nothing until the first ingest.
+	var adv *advise.Service
+	if *advisor {
+		adv = advise.NewService(advise.Config{
+			Store: advise.StoreConfig{
+				Estimator:         advise.EstimatorConfig{HalfLifeNanos: advHalfLife.Nanoseconds()},
+				MaxTenants:        *advTenants,
+				MaxNodesPerTenant: *advNodes,
+			},
+			MaxBatchEvents: *advBatch,
+			CacheEntries:   *advCache,
+		})
+	}
+
 	srv, err := server.New(server.Config{
 		Queue:         queue,
 		Cache:         cache,
@@ -125,6 +148,7 @@ func main() {
 		MaxReps:       *maxReps,
 		JobRetries:    *jobRetries,
 		ShedWatermark: *shedMark,
+		Advisor:       adv,
 		Routes:        routes,
 		Log:           logger,
 	})

@@ -1,0 +1,188 @@
+package advise
+
+import (
+	"math"
+	"sort"
+)
+
+// EstimatorConfig sizes the windowed MTBCE estimator.
+type EstimatorConfig struct {
+	// BucketNanos is the time-bucket width events are quantized into.
+	// Default 60s.
+	BucketNanos int64
+	// WindowBuckets is how many trailing buckets are retained; older
+	// counts fall out of the estimate entirely. Default 1440 (one day
+	// at the default bucket width).
+	WindowBuckets int
+	// HalfLifeNanos is the exponential-decay half-life applied when
+	// the windowed counts are turned into a rate: an event half a
+	// half-life old counts sqrt(1/2) as much as a fresh one. Default
+	// 4h.
+	HalfLifeNanos int64
+}
+
+func (c EstimatorConfig) withDefaults() EstimatorConfig {
+	if c.BucketNanos <= 0 {
+		c.BucketNanos = 60 * 1e9
+	}
+	if c.WindowBuckets <= 0 {
+		c.WindowBuckets = 1440
+	}
+	if c.HalfLifeNanos <= 0 {
+		c.HalfLifeNanos = 4 * 3600 * 1e9
+	}
+	return c
+}
+
+// Estimator is a per-node online MTBCE estimator: a decayed-window MLE
+// for the rate of an exponential CE arrival stream.
+//
+// Order independence is the load-bearing property (see docs/ADVISOR.md):
+// ingest batches may arrive from concurrent collectors in any order,
+// and the determinism contract requires that merging them in either
+// order yields the same state. The state is therefore a commutative
+// monoid over integer event counts:
+//
+//   - events are quantized into absolute time buckets (ts / BucketNanos),
+//     so a bucket's identity does not depend on what arrived before it;
+//   - per-bucket counts, the total count, and the min/max timestamps
+//     are all commutative, associative aggregates;
+//   - trimming drops buckets older than maxBucket-WindowBuckets+1, a
+//     cutoff derived from the (commutative) max — applying trims in any
+//     interleaving converges to the same retained set.
+//
+// No floating point enters the state. The rate estimate is a pure
+// function computed from the canonical integer state at query time, so
+// identical states produce bit-identical estimates.
+type Estimator struct {
+	cfg EstimatorConfig
+
+	buckets map[int64]uint64 // bucket index -> event count (trimmed)
+	minB    int64            // smallest bucket index ever observed
+	maxB    int64            // largest bucket index ever observed
+	total   uint64           // events ever ingested (incl. trimmed)
+	firstNs int64            // min event timestamp ever observed
+	lastNs  int64            // max event timestamp ever observed
+}
+
+// NewEstimator returns an empty estimator.
+func NewEstimator(cfg EstimatorConfig) *Estimator {
+	return &Estimator{cfg: cfg.withDefaults(), buckets: map[int64]uint64{}}
+}
+
+// Add ingests one event timestamp (nanoseconds, must be positive —
+// validated at the HTTP layer). Call Trim after a batch of Adds.
+func (e *Estimator) Add(tsNanos int64) {
+	b := tsNanos / e.cfg.BucketNanos
+	if e.total == 0 {
+		e.minB, e.maxB = b, b
+		e.firstNs, e.lastNs = tsNanos, tsNanos
+	} else {
+		if b < e.minB {
+			e.minB = b
+		}
+		if b > e.maxB {
+			e.maxB = b
+		}
+		if tsNanos < e.firstNs {
+			e.firstNs = tsNanos
+		}
+		if tsNanos > e.lastNs {
+			e.lastNs = tsNanos
+		}
+	}
+	e.buckets[b]++
+	e.total++
+}
+
+// Trim drops buckets that have fallen out of the retention window.
+// Idempotent; the cutoff depends only on the max bucket, so trim
+// placement between merges cannot change the converged state.
+func (e *Estimator) Trim() {
+	if e.total == 0 {
+		return
+	}
+	cutoff := e.maxB - int64(e.cfg.WindowBuckets) + 1
+	for b := range e.buckets {
+		if b < cutoff {
+			delete(e.buckets, b)
+		}
+	}
+}
+
+// Estimate is the queryable summary of one node's CE stream.
+type Estimate struct {
+	// TotalEvents counts every event ever ingested for the node.
+	TotalEvents uint64 `json:"events"`
+	// WindowEvents counts the events still inside the retention window.
+	WindowEvents uint64 `json:"window_events"`
+	// FirstNanos and LastNanos bound the observed timestamps.
+	FirstNanos int64 `json:"first_ns"`
+	LastNanos  int64 `json:"last_ns"`
+	// MTBCENanos is the decayed-window MLE of the per-node mean time
+	// between CEs; 0 when no events have been seen.
+	MTBCENanos int64 `json:"mtbce_ns"`
+	// CEPerYear is the equivalent annualized rate (0 when unknown).
+	CEPerYear float64 `json:"ce_per_year"`
+}
+
+// Estimate computes the decayed-window MLE from the canonical state.
+//
+// With per-bucket weights w(b) = 2^-(age/halflife) anchored at the
+// newest bucket, the MLE for an exponential stream observed with decay
+// is  rate = sum(w*count) / sum(w*width)  over the observation span —
+// the span being every bucket (occupied or not) between the first
+// observation (clipped to the window) and the newest bucket. MTBCE is
+// the reciprocal. All iteration is in sorted bucket order so the float
+// reduction is a fixed-order, deterministic function of the state.
+func (e *Estimator) Estimate() Estimate {
+	est := Estimate{TotalEvents: e.total, FirstNanos: e.firstNs, LastNanos: e.lastNs}
+	if e.total == 0 {
+		return est
+	}
+	start := e.maxB - int64(e.cfg.WindowBuckets) + 1
+	if e.minB > start {
+		start = e.minB
+	}
+	keys := make([]int64, 0, len(e.buckets))
+	for b := range e.buckets {
+		keys = append(keys, b)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+
+	halfLives := float64(e.cfg.BucketNanos) / float64(e.cfg.HalfLifeNanos)
+	weightAt := func(b int64) float64 {
+		return math.Exp2(-float64(e.maxB-b) * halfLives)
+	}
+	var wEvents float64
+	for _, b := range keys {
+		est.WindowEvents += e.buckets[b]
+		wEvents += weightAt(b) * float64(e.buckets[b])
+	}
+	var wTime float64
+	for b := start; b <= e.maxB; b++ {
+		wTime += weightAt(b) * float64(e.cfg.BucketNanos)
+	}
+	if wEvents <= 0 || wTime <= 0 {
+		return est
+	}
+	mtbce := wTime / wEvents
+	est.MTBCENanos = int64(math.Round(mtbce))
+	est.CEPerYear = 365.25 * 24 * 3600 * 1e9 / mtbce
+	return est
+}
+
+// quantumPerOctave is the recommendation-cache resolution: MTBCE
+// estimates are snapped to 1/8-octave steps (at most ~4.4% relative
+// error), so nearby estimator states share one cached policy answer.
+const quantumPerOctave = 8
+
+// QuantizeMTBCE snaps an MTBCE estimate to the cache quantum and
+// returns the quantum's representative value. Zero stays zero.
+func QuantizeMTBCE(mtbceNanos int64) int64 {
+	if mtbceNanos <= 0 {
+		return 0
+	}
+	q := math.Round(quantumPerOctave * math.Log2(float64(mtbceNanos)))
+	return int64(math.Round(math.Exp2(q / quantumPerOctave)))
+}

@@ -77,11 +77,17 @@ const (
 	// recovery scope, so distributed sweeps can be drilled with
 	// worker-side faults.
 	SiteClusterShard = "cluster.shard"
+	// SiteAdviseIngest fires in the advisor's CE-stream ingest path
+	// (internal/server -> internal/advise), after a batch is parsed
+	// and validated but before any of it is applied to the per-node
+	// estimator state, so a faulted batch is rejected whole and a
+	// client retry cannot double-count events.
+	SiteAdviseIngest = "advise.ingest"
 )
 
 // Sites lists every known injection site, sorted.
 func Sites() []string {
-	s := []string{SiteJobWorker, SiteCacheFill, SiteRepetition, SiteHandler, SiteDecode, SiteClusterShard}
+	s := []string{SiteJobWorker, SiteCacheFill, SiteRepetition, SiteHandler, SiteDecode, SiteClusterShard, SiteAdviseIngest}
 	sort.Strings(s)
 	return s
 }

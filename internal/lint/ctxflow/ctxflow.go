@@ -44,6 +44,7 @@ var Packages = map[string]bool{
 	"repro/internal/core":     true,
 	"repro/internal/campaign": true,
 	"repro/internal/cluster":  true,
+	"repro/internal/advise":   true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {

@@ -46,6 +46,7 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/stats":       true,
 	"repro/internal/core":        true,
 	"repro/internal/mca":         true,
+	"repro/internal/advise":      true,
 }
 
 // allowedRandConstructors are math/rand(/v2) functions that take an

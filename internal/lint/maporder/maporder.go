@@ -49,6 +49,7 @@ var Packages = map[string]bool{
 	"repro/internal/campaign":    true,
 	"repro/internal/systems":     true,
 	"repro/internal/cluster":     true,
+	"repro/internal/advise":      true,
 }
 
 // emitMethods are method names whose call inside a map-range body means

@@ -1,7 +1,9 @@
 package predict
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 )
 
@@ -57,6 +59,33 @@ func TestBudgetErrors(t *testing.T) {
 	}
 	if _, err := Budget(16, 1*ms, 1*ms, -1, 16); err == nil {
 		t.Fatal("negative budget accepted")
+	}
+}
+
+// TestNoFeasibleMTBCESentinel: when no CE rate keeps the mode within
+// budget, the error must be the typed sentinel so callers (the advisor
+// policy layer) can treat infeasibility as an answer, not a failure.
+func TestNoFeasibleMTBCESentinel(t *testing.T) {
+	// A per-event cost of ~31 years cannot fit any budget.
+	_, err := Budget(16384, int64(1e18), 1*ms, 10, 700)
+	if err == nil {
+		t.Fatal("absurd per-event cost reported feasible")
+	}
+	if !errors.Is(err, ErrNoFeasibleMTBCE) {
+		t.Fatalf("err = %v, not matchable as ErrNoFeasibleMTBCE", err)
+	}
+	if !strings.Contains(err.Error(), "unreachable") {
+		t.Fatalf("sentinel wrap lost the context: %v", err)
+	}
+
+	// Feasible configurations must not match the sentinel.
+	if _, err := Budget(16384, 133*ms, 1*ms, 10, 700); errors.Is(err, ErrNoFeasibleMTBCE) {
+		t.Fatalf("feasible budget matched the sentinel: %v", err)
+	}
+
+	// Parameter errors are not infeasibility.
+	if _, err := Budget(16, 1*ms, 1*ms, -1, 16); errors.Is(err, ErrNoFeasibleMTBCE) {
+		t.Fatalf("validation error matched the sentinel: %v", err)
 	}
 }
 

@@ -25,11 +25,20 @@
 package predict
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/tracegen"
 )
+
+// ErrNoFeasibleMTBCE reports that no per-node MTBCE — not even one CE
+// per century — keeps the predicted slowdown within the requested
+// budget at the given per-event cost. MinMTBCE and Budget wrap it with
+// the offending parameters; match with errors.Is. Callers building
+// policy matrices (internal/advise, cmd/advisor) use it to mark a
+// logging mode infeasible instead of failing the whole request.
+var ErrNoFeasibleMTBCE = errors.New("predict: no feasible MTBCE meets the budget")
 
 // Inputs describe a deployment scenario.
 type Inputs struct {
@@ -188,7 +197,8 @@ func MinMTBCE(nodes int, perEventNanos, syncIntervalNanos int64, budgetPct float
 		return 0, err
 	}
 	if pctHi > budgetPct {
-		return 0, fmt.Errorf("predict: budget %v%% unreachable even at MTBCE=100y", budgetPct)
+		return 0, fmt.Errorf("%w: budget %v%% unreachable even at MTBCE=100y (per-event cost %dns, %d nodes)",
+			ErrNoFeasibleMTBCE, budgetPct, perEventNanos, nodes)
 	}
 	for hi-lo > 1 {
 		mid := lo + (hi-lo)/2

@@ -56,10 +56,12 @@ func (k FaultKind) String() string {
 	return fmt.Sprintf("faultkind(%d)", int(k))
 }
 
-// footprintPages returns how many distinct 4 KiB pages a fault of this
+// FootprintPages returns how many distinct 4 KiB pages a fault of this
 // kind can produce CEs on. Cell faults hit one page; a row (8 KiB on
-// typical geometries) spans two; columns and banks scatter widely.
-func (k FaultKind) footprintPages() int {
+// typical geometries) spans two; columns and banks scatter widely. The
+// advise policy layer compares this footprint against the OS page
+// budget to decide whether retirement can contain a classified fault.
+func (k FaultKind) FootprintPages() int {
 	switch k {
 	case FaultCell:
 		return 1
@@ -71,6 +73,26 @@ func (k FaultKind) footprintPages() int {
 		return 4096
 	}
 	return 1
+}
+
+// Kinds returns the fault modes in taxonomy order.
+func Kinds() []FaultKind {
+	out := make([]FaultKind, 0, numFaultKinds)
+	for k := FaultKind(0); k < numFaultKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
+
+// ParseKind maps a mode name ("cell", "row", "column", "bank") back to
+// its FaultKind.
+func ParseKind(name string) (FaultKind, error) {
+	for k := FaultKind(0); k < numFaultKinds; k++ {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("retire: unknown fault kind %q (want cell, row, column or bank)", name)
 }
 
 // Mix is the relative frequency of each fault mode. The default follows
@@ -216,7 +238,7 @@ func Simulate(cfg Config) (*Result, error) {
 		// Every fault owns a disjoint page footprint; real faults can
 		// collide on pages, but collisions are vanishingly rare at
 		// node DRAM sizes and would only help retirement.
-		footprint := kind.footprintPages()
+		footprint := kind.FootprintPages()
 		rate := src.Exp(cfg.CEsPerFaultHour) // this fault's CE rate
 		if rate <= 0 {
 			rate = cfg.CEsPerFaultHour

@@ -189,9 +189,9 @@ func TestFaultKindStrings(t *testing.T) {
 }
 
 func TestFootprintOrdering(t *testing.T) {
-	if !(FaultCell.footprintPages() < FaultRow.footprintPages() &&
-		FaultRow.footprintPages() < FaultColumn.footprintPages() &&
-		FaultColumn.footprintPages() < FaultBank.footprintPages()) {
+	if !(FaultCell.FootprintPages() < FaultRow.FootprintPages() &&
+		FaultRow.FootprintPages() < FaultColumn.FootprintPages() &&
+		FaultColumn.FootprintPages() < FaultBank.FootprintPages()) {
 		t.Fatal("footprints not ordered cell < row < column < bank")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/advise"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
 	"repro/internal/simcache"
@@ -186,13 +187,17 @@ type Snapshot struct {
 	CacheBypasses uint64 `json:"cache_bypasses"`
 	// Breaker reports the baseline-cache circuit breaker, when wired.
 	Breaker *BreakerStats `json:"breaker,omitempty"`
+	// Advisor reports the mitigation advisor's ingest/estimator/cache
+	// gauges, when mounted (docs/ADVISOR.md).
+	Advisor *advise.Stats `json:"advisor,omitempty"`
 	// Faults reports fault-injection counters while a plan is armed.
 	Faults *faultinject.Stats `json:"faults,omitempty"`
 }
 
-// Snapshot captures all counters plus live queue, cache and breaker
-// gauges. q, c and b may be nil (their sections stay zero or absent).
-func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache, b *Breaker) Snapshot {
+// Snapshot captures all counters plus live queue, cache, breaker and
+// advisor gauges. q, c, b and adv may be nil (their sections stay zero
+// or absent).
+func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache, b *Breaker, adv *advise.Service) Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      map[string]uint64{},
@@ -222,6 +227,10 @@ func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache, b *Breaker) Snapsho
 	if b != nil {
 		bs := b.Snapshot()
 		s.Breaker = &bs
+	}
+	if adv != nil {
+		as := adv.Stats()
+		s.Advisor = &as
 	}
 	if faultinject.Armed() {
 		fs := faultinject.Snapshot()

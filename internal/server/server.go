@@ -6,13 +6,15 @@
 //
 // Endpoints:
 //
-//	POST /v1/simulate   submit one (workload, scale, CE scenario) job
-//	POST /v1/sweep      submit a figure regeneration job ("3".."7")
-//	GET  /v1/jobs/{id}  poll a job; DELETE cancels it
-//	GET  /v1/systems    Table II catalog and logging modes
-//	GET  /v1/workloads  workload skeletons
-//	GET  /metrics       counters, latency histograms, queue and cache gauges
-//	GET  /healthz       liveness
+//	POST /v1/simulate          submit one (workload, scale, CE scenario) job
+//	POST /v1/sweep             submit a figure regeneration job ("3".."7")
+//	GET  /v1/jobs/{id}         poll a job; DELETE cancels it
+//	GET  /v1/systems           Table II catalog and logging modes
+//	GET  /v1/workloads         workload skeletons
+//	POST /v1/advise/ingest     stream per-node CE events (NDJSON batches)
+//	GET  /v1/advise/recommend  mitigation advice for a tracked node
+//	GET  /metrics              counters, histograms, queue/cache/advisor gauges
+//	GET  /healthz              liveness
 package server
 
 import (
@@ -28,6 +30,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/advise"
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
@@ -67,6 +70,12 @@ type Config struct {
 	BreakerThreshold int
 	BreakerWindow    int
 	BreakerCooldown  time.Duration
+	// Advisor mounts the online mitigation advisor (docs/ADVISOR.md):
+	// POST /v1/advise/ingest and GET /v1/advise/recommend, served
+	// through the standard middleware. Ingest batches pass the same
+	// shed watermark as job submissions — one overload signal governs
+	// the whole daemon. Nil leaves the endpoints unregistered.
+	Advisor *advise.Service
 	// Routes adds extra endpoints — the cluster coordinator's
 	// register/lease/report API — registered through the same
 	// middleware as the built-in ones: request accounting, panic
@@ -127,6 +136,10 @@ func New(cfg Config) (*Server, error) {
 	s.handle("POST /v1/sweep", s.handleSweep)
 	s.handle("GET /v1/jobs/{id}", s.handleJobGet)
 	s.handle("DELETE /v1/jobs/{id}", s.handleJobCancel)
+	if cfg.Advisor != nil {
+		s.handle("POST /v1/advise/ingest", s.handleAdviseIngest)
+		s.handle("GET /v1/advise/recommend", s.handleAdviseRecommend)
+	}
 	patterns := make([]string, 0, len(cfg.Routes))
 	for p := range cfg.Routes {
 		patterns = append(patterns, p)
@@ -269,12 +282,31 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"uptime_s": s.metrics.Snapshot(nil, nil, nil).UptimeSeconds,
+		"uptime_s": s.metrics.Snapshot(nil, nil, nil, nil).UptimeSeconds,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cfg.Queue, s.cfg.Cache, s.breaker))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cfg.Queue, s.cfg.Cache, s.breaker, s.cfg.Advisor))
+}
+
+// handleAdviseIngest admits an advisor batch through the same shed
+// watermark as job submissions: when the simulation queue is saturated
+// the daemon is overloaded, and ingest is the first load to drop
+// because clients buffer NDJSON and retry losslessly (batches apply
+// atomically, so a retry cannot double-count).
+func (s *Server) handleAdviseIngest(w http.ResponseWriter, r *http.Request) {
+	if wm := s.cfg.ShedWatermark; wm > 0 && s.cfg.Queue != nil && s.cfg.Queue.Depth() >= wm {
+		s.metrics.Shed()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "%v", ErrShed)
+		return
+	}
+	s.cfg.Advisor.HandleIngest(w, r)
+}
+
+func (s *Server) handleAdviseRecommend(w http.ResponseWriter, r *http.Request) {
+	s.cfg.Advisor.HandleRecommend(w, r)
 }
 
 // systemJSON is one Table II row on the wire.
