@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint staticcheck bench cluster-smoke advisor-smoke
+.PHONY: build test lint staticcheck bench bench-engine bench-engine-smoke cluster-smoke advisor-smoke
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,19 @@ staticcheck:
 
 bench:
 	$(GO) test -run=XXX -bench=BenchmarkRepeatedRuns -benchtime=300x .
+
+# Engine hot-path benchmark record (docs/MODEL.md "Engine internals").
+# Runs BenchmarkRepeatedRuns 8x at fixed iterations, takes the minimum
+# per sub-benchmark (one-sided co-tenant noise) and rewrites
+# BENCH_engine.json including the speedup vs BENCH_repeated.json's
+# pre-rework baseline.
+bench-engine:
+	$(GO) run ./cmd/benchengine -out BENCH_engine.json
+
+# CI variant: one short run into a scratch file, proving the tool and
+# the benchmark still work without committing noisy numbers.
+bench-engine-smoke:
+	$(GO) run ./cmd/benchengine -benchtime 5x -count 1 -out /tmp/BENCH_engine_smoke.json
 
 # In-process multi-node drill (docs/CLUSTER.md): coordinator + workers,
 # bit-identity vs the sequential campaign, shard fault storm, worker

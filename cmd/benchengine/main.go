@@ -1,0 +1,189 @@
+// Command benchengine runs the engine hot-path benchmark
+// (BenchmarkRepeatedRuns) and records the results as BENCH_engine.json,
+// alongside the pre-rework baseline from BENCH_repeated.json so the
+// achieved speedup is part of the committed record.
+//
+// Benchmarks on shared, single-core CI containers are noisy: co-tenant
+// load inflates wall time by 20-50% unpredictably. The tool therefore
+// runs the benchmark -count times with a fixed iteration count
+// (-benchtime Nx, not adaptive time-based sampling) and reports the
+// MINIMUM ns/op per sub-benchmark — the run least disturbed by
+// neighbors, and the only statistic that is stable under one-sided
+// noise. Invoked by `make bench-engine`; CI runs a 1-iteration smoke to
+// keep the target from rotting.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+type subResult struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	// Samples is the number of -count repetitions the minimum was
+	// taken over.
+	Samples int `json:"samples"`
+}
+
+type benchFile struct {
+	Benchmark   string                `json:"benchmark"`
+	Description string                `json:"description"`
+	Date        string                `json:"date"`
+	Goos        string                `json:"goos"`
+	Goarch      string                `json:"goarch"`
+	CPU         string                `json:"cpu"`
+	Command     string                `json:"command"`
+	Methodology string                `json:"methodology"`
+	Results     map[string]*subResult `json:"results"`
+	Baseline    *baselineRef          `json:"baseline,omitempty"`
+}
+
+type baselineRef struct {
+	Source        string  `json:"source"`
+	SubBench      string  `json:"sub_benchmark"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	SpeedupFactor float64 `json:"speedup_factor"`
+	Note          string  `json:"note"`
+}
+
+// benchLine matches one testing benchmark result line, e.g.
+// BenchmarkRepeatedRuns/reused-simulator-4  1000  971234 ns/op  7570 B/op  74 allocs/op
+var benchLine = regexp.MustCompile(
+	`^Benchmark[^/\s]*/(\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	benchtime := flag.String("benchtime", "1000x", "fixed iteration count per run (testing -benchtime)")
+	count := flag.Int("count", 8, "runs per sub-benchmark; the minimum is recorded")
+	bench := flag.String("bench", "BenchmarkRepeatedRuns", "benchmark to run")
+	out := flag.String("out", "BENCH_engine.json", "output file")
+	dir := flag.String("dir", ".", "package directory containing the benchmark")
+	flag.Parse()
+
+	args := []string{"test", "-run=XXX", "-bench=" + *bench,
+		"-benchtime=" + *benchtime, "-count=" + strconv.Itoa(*count), "."}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = *dir
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "benchengine: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		fatal("benchmark run failed: %v", err)
+	}
+
+	f := &benchFile{
+		Benchmark: *bench,
+		Description: "Engine hot-path overhaul record: per-repetition simulation cost after the " +
+			"calendar event queue, compiled-op dispatch, struct-of-arrays rank state, memoized " +
+			"collective schedules and batched noise arrivals. Workload: minife, 64 ranks, 5 " +
+			"iterations, CE noise MTBCE=50ms fixed 1ms/event, Profile enabled — identical to " +
+			"BENCH_repeated.json so the two files compare directly. Outputs are bit-identical " +
+			"to the pre-rework engine (TestEngineBitIdentical).",
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Command: "go " + strings.Join(args, " "),
+		Methodology: fmt.Sprintf("min of %d runs at fixed %s iterations; minimum chosen because "+
+			"co-tenant noise on shared CI hardware is strictly one-sided", *count, *benchtime),
+		Results: map[string]*subResult{},
+	}
+	sc := bufio.NewScanner(&outBuf)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		r := f.Results[m[1]]
+		if r == nil {
+			r = &subResult{NsPerOp: int64(ns)}
+			f.Results[m[1]] = r
+		}
+		r.Samples++
+		if int64(ns) <= r.NsPerOp {
+			r.NsPerOp = int64(ns)
+			if m[3] != "" {
+				r.BytesPerOp, _ = strconv.ParseInt(m[3], 10, 64)
+			}
+			if m[4] != "" {
+				r.AllocsPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+		}
+	}
+	if len(f.Results) == 0 {
+		fatal("no benchmark result lines parsed from go test output")
+	}
+
+	if base := loadBaseline(*dir); base > 0 {
+		if r, ok := f.Results["reused-simulator"]; ok && r.NsPerOp > 0 {
+			f.Baseline = &baselineRef{
+				Source:        "BENCH_repeated.json",
+				SubBench:      "reused-simulator",
+				NsPerOp:       base,
+				SpeedupFactor: float64(base) / float64(r.NsPerOp),
+				Note: "baseline measured on the pre-rework engine on comparable hardware; " +
+					"speedup is baseline ns/op divided by this file's minimum ns/op",
+			}
+		}
+	}
+
+	enc, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fatal("%v", err)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "benchengine: wrote %s\n", *out)
+	for name, r := range f.Results {
+		fmt.Fprintf(os.Stderr, "  %-24s min %d ns/op (%d B/op, %d allocs/op, %d samples)\n",
+			name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, r.Samples)
+	}
+	if f.Baseline != nil {
+		fmt.Fprintf(os.Stderr, "  speedup vs %s: %.2fx\n", f.Baseline.Source, f.Baseline.SpeedupFactor)
+	}
+}
+
+// loadBaseline pulls the pre-rework reused-simulator ns/op out of
+// BENCH_repeated.json, if present next to the benchmark package.
+func loadBaseline(dir string) int64 {
+	raw, err := os.ReadFile(dir + "/BENCH_repeated.json")
+	if err != nil {
+		return 0
+	}
+	var doc struct {
+		Results map[string]struct {
+			NsPerOp int64 `json:"ns_per_op"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return 0
+	}
+	return doc.Results["reused-simulator"].NsPerOp
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchengine: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -69,6 +69,11 @@ type Config struct {
 	// AllreduceAuto switches from recursive doubling to Rabenseifner.
 	// Zero means the default of 16 KiB.
 	RabenseifnerMin int64
+	// DisableMemo bypasses the process-wide schedule memoization (see
+	// memo.go) and re-runs every expansion algorithm directly. Output
+	// is bit-identical either way; the toggle exists so differential
+	// tests can replay both paths in one process.
+	DisableMemo bool
 }
 
 func (c Config) rabenseifnerMin() int64 {
@@ -143,36 +148,16 @@ func Expand(t *trace.Trace, cfg Config) (*trace.Trace, error) {
 			seq = append(seq, op)
 			e.tag = TagBase + instance
 			instance++
-			switch op.Kind {
-			case trace.OpBarrier:
-				e.dissemination(0)
-			case trace.OpBcast:
-				e.binomialBcast(op.Peer, op.Size)
-			case trace.OpReduce:
-				e.binomialReduce(op.Peer, op.Size)
-			case trace.OpAllreduce:
-				switch algo := cfg.Allreduce; {
-				case algo == AllreduceRecursiveDoubling,
-					algo == AllreduceAuto && op.Size <= cfg.rabenseifnerMin():
-					e.recursiveDoublingAllreduce(op.Size)
-				case algo == AllreduceRabenseifner, algo == AllreduceAuto:
-					e.rabenseifnerAllreduce(op.Size)
-				case algo == AllreduceRing:
-					e.ringAllreduce(op.Size)
-				default:
-					return nil, fmt.Errorf("collectives: unknown allreduce algorithm %d", cfg.Allreduce)
-				}
-			case trace.OpAllgather:
-				e.bruckAllgather(op.Size)
-			case trace.OpAlltoall:
-				e.bruckAlltoall(op.Size)
-			case trace.OpGather:
-				e.binomialGather(op.Peer, op.Size)
-			case trace.OpScatter:
-				e.binomialScatter(op.Peer, op.Size)
-			default:
-				return nil, fmt.Errorf("collectives: unhandled collective %s", op.Kind)
+			key, err := schedKeyFor(op, n, r, cfg)
+			if err != nil {
+				return nil, err
 			}
+			if cfg.DisableMemo {
+				e.expandDirect(key)
+				continue
+			}
+			sch := schedCache.getOrBuild(key, func() schedule { return buildCanonical(key) })
+			e.splice(sch)
 		}
 		if r == 0 {
 			firstSeq = seq

@@ -1,0 +1,155 @@
+package core
+
+// Differential harness for the engine hot-path rework. Every
+// optimization introduced by the rework — the calendar event queue, the
+// memoized collective expansion schedules, the batched noise-arrival
+// draws — keeps a toggle back to its legacy implementation
+// (EngineCompat; the heap queue additionally survives module-wide
+// behind the eventq_shadow build tag). TestEngineBitIdentical replays
+// the full figure matrix through the new engine and through the legacy
+// paths and requires byte-identical rendered reports: the rework is a
+// pure performance change, with no observable effect on any result.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/noise"
+)
+
+// engineVariants are the legacy-path combinations checked against the
+// all-new default. The composite variant catches cross-optimization
+// interactions; the singles localize a divergence to one subsystem.
+var engineVariants = []struct {
+	name   string
+	engine EngineCompat
+}{
+	{"legacy-all", EngineCompat{ShadowQueue: true, DirectExpansion: true, UnbatchedNoise: true}},
+	{"legacy-queue", EngineCompat{ShadowQueue: true}},
+	{"legacy-expansion", EngineCompat{DirectExpansion: true}},
+	{"legacy-noise", EngineCompat{UnbatchedNoise: true}},
+}
+
+// renderFigure runs one figure driver with the given engine selection
+// and returns the rendered report bytes.
+func renderFigure(t *testing.T, driver func(Options) (*Figure, error), opts Options, engine EngineCompat) []byte {
+	t.Helper()
+	opts.Experiments = func(cfg ExperimentConfig) (*Experiment, error) {
+		cfg.Engine = engine
+		return NewExperiment(cfg)
+	}
+	f, err := driver(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) == 0 {
+		t.Fatal("figure produced no rows")
+	}
+	var buf bytes.Buffer
+	if err := f.Table().WriteASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestEngineBitIdentical(t *testing.T) {
+	figures := []struct {
+		name   string
+		driver func(Options) (*Figure, error)
+		opts   Options
+	}{
+		// Two workloads cover both trace shapes: minife's
+		// allreduce/waitall-heavy iterations and lammps-crack's
+		// fine-grained p2p exchange. Node counts off and on powers of
+		// two exercise both collective-algorithm branches.
+		{"fig3", Figure3, tinyOpts("minife")},
+		{"fig4", Figure4, tinyOpts("lammps-crack")},
+		{"fig5", Figure5, tinyOpts("minife")},
+		{"fig6", Figure6, tinyOpts("lammps-crack")},
+		{"fig7", Figure7, tinyOpts("minife")},
+	}
+	for _, fig := range figures {
+		fig := fig
+		t.Run(fig.name, func(t *testing.T) {
+			t.Parallel()
+			want := renderFigure(t, fig.driver, fig.opts, EngineCompat{})
+			for _, v := range engineVariants {
+				got := renderFigure(t, fig.driver, fig.opts, v.engine)
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s: report under %s diverges from the new engine\n--- new ---\n%s\n--- %s ---\n%s",
+						fig.name, v.name, want, v.name, got)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineBitIdenticalResults compares raw run results — makespan,
+// per-rank finish times, message and byte counters, full profile —
+// rather than rendered tables, so a divergence that happens to render
+// identically (rounding) still fails. One representative scenario per
+// engine variant, at a non-power-of-two rank count.
+func TestEngineBitIdenticalResults(t *testing.T) {
+	base := ExperimentConfig{Workload: "lulesh", Nodes: 27, Iterations: 3, TraceSeed: 7}
+	sc := Scenario{MTBCE: 5_000_000, PerEvent: noise.Fixed(25_000), Target: 0, Seed: 42}
+
+	newEng, err := NewExperiment(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := newEng.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.CEEvents == 0 {
+		t.Fatal("scenario injected no CEs; the comparison would be vacuous")
+	}
+	for _, v := range engineVariants {
+		cfg := base
+		cfg.Engine = v.engine
+		leg, err := NewExperiment(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if leg.Baseline().Makespan != newEng.Baseline().Makespan {
+			t.Errorf("%s: baseline makespan %d != %d", v.name, leg.Baseline().Makespan, newEng.Baseline().Makespan)
+		}
+		got, err := leg.Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if err := sameRunResult(got, want); err != nil {
+			t.Errorf("%s: %v", v.name, err)
+		}
+	}
+}
+
+func sameRunResult(got, want *RunResult) error {
+	g, w := got.Perturbed, want.Perturbed
+	if g.Makespan != w.Makespan {
+		return fmt.Errorf("makespan %d != %d", g.Makespan, w.Makespan)
+	}
+	if g.Messages != w.Messages || g.BytesMoved != w.BytesMoved {
+		return fmt.Errorf("traffic (%d msgs, %d B) != (%d msgs, %d B)",
+			g.Messages, g.BytesMoved, w.Messages, w.BytesMoved)
+	}
+	for r := range w.FinishTimes {
+		if g.FinishTimes[r] != w.FinishTimes[r] {
+			return fmt.Errorf("rank %d finish %d != %d", r, g.FinishTimes[r], w.FinishTimes[r])
+		}
+	}
+	if got.CEEvents != want.CEEvents || got.CEStolenNanos != want.CEStolenNanos {
+		return fmt.Errorf("CE accounting (%d events, %d ns) != (%d events, %d ns)",
+			got.CEEvents, got.CEStolenNanos, want.CEEvents, want.CEStolenNanos)
+	}
+	if got.SlowdownPct != want.SlowdownPct {
+		return fmt.Errorf("slowdown %v != %v", got.SlowdownPct, want.SlowdownPct)
+	}
+	gp, wp := got.Profile, want.Profile
+	if gp.Work != wp.Work || gp.Detour != wp.Detour || gp.Wait != wp.Wait {
+		return fmt.Errorf("profile (%d, %d, %d) != (%d, %d, %d)",
+			gp.Work, gp.Detour, gp.Wait, wp.Work, wp.Detour, wp.Wait)
+	}
+	return nil
+}

@@ -28,10 +28,10 @@ func TestOrdering(t *testing.T) {
 
 func TestFIFOTieBreak(t *testing.T) {
 	q := New(0)
-	for i := int64(0); i < 100; i++ {
+	for i := int32(0); i < 100; i++ {
 		q.Push(Event{Time: 42, A: i})
 	}
-	for i := int64(0); i < 100; i++ {
+	for i := int32(0); i < 100; i++ {
 		e := q.Pop()
 		if e.A != i {
 			t.Fatalf("same-time events reordered: got %d at position %d", e.A, i)
@@ -115,7 +115,7 @@ func TestQuickSorted(t *testing.T) {
 
 // Property: payload fields survive the round trip untouched.
 func TestQuickPayloadPreserved(t *testing.T) {
-	f := func(kind int32, rank int32, a, b, c int64) bool {
+	f := func(kind, rank, a, c int32, b int64) bool {
 		q := New(1)
 		q.Push(Event{Time: 1, Kind: kind, Rank: rank, A: a, B: b, C: c})
 		e := q.Pop()

@@ -1,0 +1,78 @@
+package eventq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// slabEvents returns every Event slot resident in the queue's backing
+// arrays beyond the live entries: the truncated tails of calendar
+// bucket slabs or the heap slab. Pooled simulators keep queues alive
+// across runs, so stale payloads here would keep dead run state
+// reachable for the lifetime of the pool.
+func slabEvents(q *Queue) []Event {
+	var out []Event
+	if q.shadow {
+		h := q.heap[:cap(q.heap)]
+		out = append(out, h[len(q.heap):]...)
+		return out
+	}
+	for _, b := range q.buckets {
+		full := b[:cap(b)]
+		out = append(out, full[len(b):]...)
+	}
+	// Popped agenda prefix, truncated agenda tail, and the resize spill
+	// buffer are all retained capacity too.
+	out = append(out, q.today[:q.ti]...)
+	out = append(out, q.today[:cap(q.today)][len(q.today):]...)
+	out = append(out, q.scratch[:cap(q.scratch)]...)
+	return out
+}
+
+func testRetention(t *testing.T, mk func(int) *Queue) {
+	t.Helper()
+	q := mk(0)
+	r := rand.New(rand.NewSource(7))
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			q.Push(Event{Time: int64(r.Intn(1 << 20)), A: 0xdead, B: 0xbeef, C: 0xcafe})
+		}
+	}
+
+	// Pop path: drain fully; every vacated slot must be zeroed.
+	push(500)
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	for i, e := range slabEvents(q) {
+		if e != (Event{}) {
+			t.Fatalf("after drain, slab slot %d retains %+v", i, e)
+		}
+	}
+
+	// Reset path: truncation must zero the retained capacity too.
+	push(500)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("reset left %d events", q.Len())
+	}
+	for i, e := range slabEvents(q) {
+		if e != (Event{}) {
+			t.Fatalf("after reset, slab slot %d retains %+v", i, e)
+		}
+	}
+
+	// The queue must stay usable with the same slabs after both.
+	push(100)
+	var last int64 = -1 << 62
+	for q.Len() > 0 {
+		e := q.Pop()
+		if e.Time < last {
+			t.Fatalf("order violated after reuse: %d after %d", e.Time, last)
+		}
+		last = e.Time
+	}
+}
+
+func TestNoPayloadRetentionCalendar(t *testing.T) { testRetention(t, New) }
+func TestNoPayloadRetentionShadow(t *testing.T)   { testRetention(t, NewShadow) }

@@ -1,0 +1,86 @@
+package eventq
+
+// Shadow implementation: the pre-calendar 4-ary implicit heap, kept
+// compiled (not behind a build tag) so differential tests can replay
+// the exact pre-rewrite engine against the calendar queue in a single
+// process and assert bit-identical schedules. The eventq_shadow build
+// tag flips New to return shadow queues module-wide, for whole-binary
+// A/B runs (see buildShadow in shadow_default.go / shadow_enabled.go).
+
+// NewShadow returns a queue backed by the legacy 4-ary implicit heap
+// with capacity preallocated for n events. It honors the same
+// (Time, seq) contract as the calendar queue; the two produce
+// identical pop sequences for identical push sequences.
+func NewShadow(n int) *Queue {
+	return &Queue{shadow: true, heap: make([]Event, 0, n)}
+}
+
+func (q *Queue) pushShadow(e Event) {
+	e.seq = q.seq
+	q.seq++
+	q.heap = append(q.heap, e)
+	q.up(len(q.heap) - 1)
+}
+
+func (q *Queue) popShadow() Event {
+	h := q.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = Event{} // do not retain popped payloads in the slab
+	q.heap = h[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	top.seq = 0
+	return top
+}
+
+func (q *Queue) resetShadow() {
+	h := q.heap[:cap(q.heap)]
+	for i := range h {
+		h[i] = Event{}
+	}
+	q.heap = q.heap[:0]
+	q.seq = 0
+}
+
+func (q *Queue) less(i, j int) bool {
+	return less(&q.heap[i], &q.heap[j])
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if q.less(c, best) {
+				best = c
+			}
+		}
+		if !q.less(best, i) {
+			return
+		}
+		q.heap[i], q.heap[best] = q.heap[best], q.heap[i]
+		i = best
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !eventq_shadow
+
+package eventq
+
+// buildShadow selects the queue implementation New returns: the
+// calendar queue by default, the legacy heap when the binary is built
+// with -tags eventq_shadow (whole-engine A/B differential runs).
+const buildShadow = false

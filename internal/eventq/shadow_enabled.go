@@ -1,0 +1,7 @@
+//go:build eventq_shadow
+
+package eventq
+
+// buildShadow: this build runs every simulation on the legacy 4-ary
+// heap (see shadow_default.go for the normal configuration).
+const buildShadow = true

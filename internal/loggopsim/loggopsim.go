@@ -79,6 +79,12 @@ type Config struct {
 	// blocked time spent waiting for messages. Costs one extra O(ranks)
 	// allocation and a few counters per operation.
 	Profile bool
+	// ShadowQueue runs the simulation on the legacy heap event queue
+	// (eventq.NewShadow) instead of the calendar queue. Pop order — and
+	// therefore every result — is identical; the toggle exists so
+	// differential tests can replay both engines in one process. The
+	// eventq_shadow build tag flips whole builds the same way.
+	ShadowQueue bool
 }
 
 // Profile decomposes where simulated time went. All values are sums
@@ -152,15 +158,16 @@ type rdvMsg struct {
 
 // slot is a posted receive or an outstanding send request on one rank.
 type slot struct {
-	req    int32 // request id; -1 for a blocking recv
-	peer   int32 // expected source (AnySource allowed) or send peer
-	tag    int32
-	size   int64
-	isRecv bool
-	done   bool  // data ready (recv) or buffer released (send)
-	ready  int64 // time the slot became done
-	posted int64 // logical time the receive was posted
-	active bool  // still occupied
+	req     int32 // request id; -1 for a blocking recv
+	peer    int32 // expected source (AnySource allowed) or send peer
+	tag     int32
+	size    int64
+	isRecv  bool
+	done    bool  // data ready (recv) or buffer released (send)
+	claimed bool  // recv slot matched to an in-flight rendezvous payload
+	ready   int64 // time the slot became done
+	posted  int64 // logical time the receive was posted
+	active  bool  // still occupied
 }
 
 // unexp is an arrived-but-unmatched message (eager payload or RTS).
@@ -172,8 +179,41 @@ type unexp struct {
 	arr  int64
 }
 
+// cop is a compiled trace operation. NewSimulator resolves everything
+// that does not depend on simulated time — the eager/rendezvous
+// protocol decision, the LogGOPS send CPU / NIC gap / transit costs
+// (including the per-pair extra latency), and the parameter set — so
+// the replay loop does only integer arithmetic: no floating-point
+// byte-cost math, no interface or function-valued calls, no protocol
+// branches. The arithmetic is the same as the uncompiled path's,
+// evaluated once; results are bit-identical.
+type cop struct {
+	dur     int64 // calc duration | eager send CPU o+(s-1)O | rendezvous o
+	size    int64 // message bytes
+	nicGap  int64 // eager send: NIC occupancy g+(s-1)G
+	transit int64 // eager send: L+(s-1)G+xl | rendezvous send: RTS flight L+xl
+	peer    int32
+	tag     int32
+	req     int32
+	kind    uint8 // cop kinds below
+}
+
+// Compiled op kinds, ordered hottest-first.
+const (
+	cCalc uint8 = iota
+	cEagerIsend
+	cIrecv
+	cWaitAll
+	cEagerSend
+	cRdvIsend
+	cRdvSend
+	cRecv
+	cWait
+	cBad // unexpanded collective: deliberate diagnostic deadlock
+)
+
 type rankState struct {
-	ops        []trace.Op
+	cops       []cop
 	pc         int
 	clock      int64
 	block      blockKind
@@ -181,6 +221,71 @@ type rankState struct {
 	blockMsg   int32 // rendezvous msg index for blockedSendCTS / blockedRecv data wait
 	slots      []slot
 	unexpected []unexp
+	// freeMin is a lower bound on the inactive slot indices: no slot
+	// below it is free. addSlot resumes its lowest-free scan here
+	// instead of index 0, which keeps allocation O(1) amortized while
+	// preserving the lowest-index-first assignment the matching order
+	// depends on.
+	freeMin int32
+	// pending counts slots that are active and not done — the number
+	// of outstanding requests a WaitAll must wait for. Maintained at
+	// every done/active transition so doWaitAll's readiness check
+	// (which runs on every completion event while blocked) is O(1).
+	pending int32
+	// posted lists the matchable posted irecvs — active, not done, not
+	// claimed, req >= 0 — in ascending slot-index order, so arrival
+	// matching scans only receive candidates in the exact order the
+	// full slot scan used to visit them. Each entry carries the match
+	// key (peer, tag) so the scan stays inside this contiguous list
+	// instead of dereferencing the slot table per probe.
+	posted []postedEnt
+}
+
+// postedEnt is one matchable posted receive: its slot index and match key.
+type postedEnt struct {
+	idx  int32
+	peer int32
+	tag  int32
+}
+
+// postedInsert adds a posted receive to the sorted matchable-irecv list.
+func (st *rankState) postedInsert(e postedEnt) {
+	p := st.posted
+	if len(p) == 0 || e.idx > p[len(p)-1].idx {
+		st.posted = append(p, e)
+		return
+	}
+	lo, hi := 0, len(p)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p[mid].idx < e.idx {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	p = append(p, postedEnt{})
+	copy(p[lo+1:], p[lo:])
+	p[lo] = e
+	st.posted = p
+}
+
+// postedRemoveAt removes the list entry at position k.
+func (st *rankState) postedRemoveAt(k int) {
+	st.posted = append(st.posted[:k], st.posted[k+1:]...)
+}
+
+// freeSlot releases a slot, keeping the lowest-free bound and the
+// outstanding-request count in step.
+func (st *rankState) freeSlot(idx int32) {
+	sl := &st.slots[idx]
+	if !sl.done {
+		st.pending--
+	}
+	sl.active = false
+	if idx < st.freeMin {
+		st.freeMin = idx
+	}
 }
 
 // Simulator is a reusable simulation engine bound to one expanded
@@ -202,6 +307,7 @@ type Simulator struct {
 	local  *netmodel.Params
 	rpn    int32   // ranks per node
 	nic    []int64 // per-node NIC-free time
+	node   []int32 // rank -> node, so the hot path never divides
 	extraL func(src, dst int32) int64
 	noise  noise.Model
 	ranks  []rankState
@@ -210,6 +316,24 @@ type Simulator struct {
 	res    Result
 	active int      // ranks not yet finished
 	prof   *Profile // nil unless profiling
+	// profRank accumulates the per-rank time decomposition in one
+	// cache-friendly struct per rank; finishResult materializes it
+	// into the Profile's per-rank slices and totals.
+	profRank []rankProf
+
+	// peek and nextNoise elide noise.Model.Extend calls: when the
+	// model can report its next arrival time (noise.ArrivalPeeker),
+	// work intervals ending at or before it — at realistic MTBCEs,
+	// nearly all of them — complete with two compares instead of an
+	// interface call and a stream walk. nextNoise[r] is MaxInt64 for
+	// noise-free runs and MinInt64 (always call) for opaque models.
+	peek      noise.ArrivalPeeker
+	nextNoise []int64
+}
+
+// rankProf is the per-rank profile accumulator.
+type rankProf struct {
+	work, detour, wait int64
 }
 
 // NewSimulator validates cfg and builds a reusable simulator for the
@@ -235,23 +359,76 @@ func NewSimulator(tr *trace.Trace, cfg Config) (*Simulator, error) {
 	if rpn < 0 {
 		return nil, fmt.Errorf("loggopsim: ranks per node must be positive, got %d", rpn)
 	}
-	s := &Simulator{
-		cfg:   cfg,
-		net:   cfg.Net,
-		local: cfg.LocalNet,
-		rpn:   int32(rpn),
-		nic:   make([]int64, (n+rpn-1)/rpn),
-		ranks: make([]rankState, n),
-		q:     eventq.New(1024),
+	newQueue := eventq.New
+	if cfg.ShadowQueue {
+		newQueue = eventq.NewShadow
 	}
-	s.extraL = cfg.ExtraLatency
-	if s.extraL == nil {
-		s.extraL = func(int32, int32) int64 { return 0 }
+	s := &Simulator{
+		cfg:       cfg,
+		net:       cfg.Net,
+		local:     cfg.LocalNet,
+		rpn:       int32(rpn),
+		nic:       make([]int64, (n+rpn-1)/rpn),
+		node:      make([]int32, n),
+		ranks:     make([]rankState, n),
+		q:         newQueue(1024),
+		nextNoise: make([]int64, n),
+		extraL:    cfg.ExtraLatency,
+	}
+	for r := range s.node {
+		s.node[r] = int32(r) / s.rpn
+	}
+	if cfg.Profile {
+		s.profRank = make([]rankProf, n)
 	}
 	for r := range s.ranks {
-		s.ranks[r].ops = tr.Ops[r]
+		s.ranks[r].cops = s.compile(int32(r), tr.Ops[r])
 	}
 	return s, nil
+}
+
+// compile lowers one rank's trace into compiled ops (see cop).
+func (s *Simulator) compile(r int32, ops []trace.Op) []cop {
+	cs := make([]cop, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		c := &cs[i]
+		c.peer, c.tag, c.req, c.size = op.Peer, op.Tag, op.Req, op.Size
+		switch op.Kind {
+		case trace.OpCalc:
+			c.kind, c.dur = cCalc, op.Dur
+		case trace.OpSend, trace.OpIsend:
+			p := s.pair(r, op.Peer)
+			x := s.xl(r, op.Peer)
+			if p.Eager(op.Size) {
+				c.dur = p.SendCPU(op.Size)
+				c.nicGap = p.NICGap(op.Size)
+				c.transit = p.Transit(op.Size) + x
+				c.kind = cEagerSend
+				if op.Kind == trace.OpIsend {
+					c.kind = cEagerIsend
+				}
+			} else {
+				c.dur = p.O
+				c.transit = p.L + x
+				c.kind = cRdvSend
+				if op.Kind == trace.OpIsend {
+					c.kind = cRdvIsend
+				}
+			}
+		case trace.OpRecv:
+			c.kind = cRecv
+		case trace.OpIrecv:
+			c.kind = cIrecv
+		case trace.OpWait:
+			c.kind = cWait
+		case trace.OpWaitAll:
+			c.kind = cWaitAll
+		default:
+			c.kind = cBad
+		}
+	}
+	return cs
 }
 
 // Ranks returns the number of ranks the simulator was built for.
@@ -281,9 +458,29 @@ func (s *Simulator) reset(nm noise.Model) {
 		st.blockMsg = -1
 		st.slots = st.slots[:0]
 		st.unexpected = st.unexpected[:0]
+		st.freeMin = 0
+		st.pending = 0
+		st.posted = st.posted[:0]
 	}
 	s.res = Result{}
 	s.active = len(s.ranks)
+	switch m := nm.(type) {
+	case noise.None:
+		s.peek = nil
+		for r := range s.nextNoise {
+			s.nextNoise[r] = maxInt64
+		}
+	case noise.ArrivalPeeker:
+		s.peek = m
+		for r := range s.nextNoise {
+			s.nextNoise[r] = m.NextArrival(int32(r))
+		}
+	default:
+		s.peek = nil
+		for r := range s.nextNoise {
+			s.nextNoise[r] = minInt64
+		}
+	}
 	if s.cfg.Profile {
 		// Fresh profile per run: callers retain Result.Profile.
 		n := len(s.ranks)
@@ -293,6 +490,9 @@ func (s *Simulator) reset(nm noise.Model) {
 			PerRankWait:   make([]int64, n),
 		}
 		s.res.Profile = s.prof
+		for i := range s.profRank {
+			s.profRank[i] = rankProf{}
+		}
 	} else {
 		s.prof = nil
 	}
@@ -309,10 +509,11 @@ func (s *Simulator) Run(nm noise.Model) (*Result, error) {
 	for r := range s.ranks {
 		s.advance(int32(r))
 	}
+	maxTime := s.cfg.MaxTime
 	for s.q.Len() > 0 {
 		e := s.q.Pop()
 		s.res.Events++
-		if s.cfg.MaxTime > 0 && e.Time > s.cfg.MaxTime {
+		if maxTime > 0 && e.Time > maxTime {
 			s.res.TimedOut = true
 			s.finishResult()
 			out := s.res
@@ -320,13 +521,13 @@ func (s *Simulator) Run(nm noise.Model) (*Result, error) {
 		}
 		switch e.Kind {
 		case evEagerArrive:
-			s.eagerArrive(e.Rank, int32(e.A), e.B, int32(e.C), e.Time)
+			s.eagerArrive(e.Rank, e.A, e.B, e.C, e.Time)
 		case evRTSArrive:
-			s.rtsArrive(int32(e.A), e.Time)
+			s.rtsArrive(e.A, e.Time)
 		case evCTSArrive:
-			s.ctsArrive(int32(e.A), e.Time)
+			s.ctsArrive(e.A, e.Time)
 		case evDataArrive:
-			s.dataArrive(int32(e.A), e.Time)
+			s.dataArrive(e.A, e.Time)
 		default:
 			return nil, fmt.Errorf("loggopsim: unknown event kind %d", e.Kind)
 		}
@@ -372,43 +573,77 @@ func (s *Simulator) finishResult() {
 			s.res.Makespan = s.ranks[r].clock
 		}
 	}
+	if s.prof != nil {
+		for r := range s.profRank {
+			p := &s.profRank[r]
+			s.prof.PerRankWork[r] = p.work
+			s.prof.PerRankDetour[r] = p.detour
+			s.prof.PerRankWait[r] = p.wait
+			s.prof.Work += p.work
+			s.prof.Detour += p.detour
+			s.prof.Wait += p.wait
+		}
+	}
 }
 
 // extend charges CPU work on a rank, stretched by noise detours. When
 // the start time is beyond the rank's current clock the difference is
-// blocked (waiting) time.
+// blocked (waiting) time. The noise model is consulted only when its
+// next arrival can land strictly inside the window; CE semantics make
+// the skipped call a no-op (arrivals at or after the window end are
+// never charged to it, and idle arrivals are dropped lazily either
+// way), so the elision is bit-exact.
 func (s *Simulator) extend(rank int32, start, dur int64) int64 {
-	end := s.noise.Extend(rank, start, dur)
-	if s.prof != nil {
-		s.prof.Work += dur
-		s.prof.PerRankWork[rank] += dur
-		det := end - start - dur
-		s.prof.Detour += det
-		s.prof.PerRankDetour[rank] += det
+	end := start + dur
+	if end > s.nextNoise[rank] {
+		end = s.extendSlow(rank, start, dur)
+	}
+	if s.profRank != nil {
+		p := &s.profRank[rank]
+		p.work += dur
+		p.detour += end - start - dur
 		if wait := start - s.ranks[rank].clock; wait > 0 {
-			s.prof.Wait += wait
-			s.prof.PerRankWait[rank] += wait
+			p.wait += wait
 		}
 	}
 	return end
 }
 
+// extendSlow is the out-of-line noise consultation: the model walks its
+// arrival stream, and the cached next-arrival time is refreshed.
+func (s *Simulator) extendSlow(rank int32, start, dur int64) int64 {
+	end := s.noise.Extend(rank, start, dur)
+	if s.peek != nil {
+		s.nextNoise[rank] = s.peek.NextArrival(rank)
+	}
+	return end
+}
+
 // nodeOf maps a rank to its node.
-func (s *Simulator) nodeOf(rank int32) int32 { return rank / s.rpn }
+func (s *Simulator) nodeOf(rank int32) int32 { return s.node[rank] }
 
 // pair returns the parameter set for a message between two ranks:
 // LocalNet for co-located ranks when configured, Net otherwise.
 func (s *Simulator) pair(a, b int32) *netmodel.Params {
-	if s.local != nil && s.nodeOf(a) == s.nodeOf(b) {
+	if s.local != nil && s.node[a] == s.node[b] {
 		return s.local
 	}
 	return &s.net
 }
 
+// xl returns the configured extra latency between two ranks, zero when
+// none is configured.
+func (s *Simulator) xl(src, dst int32) int64 {
+	if s.extraL == nil {
+		return 0
+	}
+	return s.extraL(src, dst)
+}
+
 // inject reserves the sender's node NIC for a message of size bytes
 // that is ready at time ready, and returns the injection time.
 func (s *Simulator) inject(rank int32, ready int64, p *netmodel.Params, size int64) int64 {
-	node := s.nodeOf(rank)
+	node := s.node[rank]
 	inj := ready
 	if s.nic[node] > inj {
 		inj = s.nic[node]
@@ -417,33 +652,53 @@ func (s *Simulator) inject(rank int32, ready int64, p *netmodel.Params, size int
 	return inj
 }
 
-// advance executes ops on rank r until it blocks or finishes.
+// advance executes ops on rank r until it blocks or finishes. The hot
+// cases inline the noise-elided CPU extension (see extend) so the
+// common op costs a handful of integer instructions.
 func (s *Simulator) advance(r int32) {
 	st := &s.ranks[r]
 	st.block = notBlocked
-	for st.pc < len(st.ops) {
-		op := &st.ops[st.pc]
-		switch op.Kind {
-		case trace.OpCalc:
-			st.clock = s.extend(r, st.clock, op.Dur)
-		case trace.OpSend:
-			if !s.startSend(r, op, -1) {
-				return // blocked waiting for CTS
+	cops := st.cops
+	for st.pc < len(cops) {
+		op := &cops[st.pc]
+		switch op.kind {
+		case cCalc:
+			end := st.clock + op.dur
+			if end > s.nextNoise[r] {
+				end = s.extendSlow(r, st.clock, op.dur)
 			}
-		case trace.OpIsend:
-			s.startIsend(r, op)
-		case trace.OpRecv:
+			if s.profRank != nil {
+				p := &s.profRank[r]
+				p.work += op.dur
+				p.detour += end - st.clock - op.dur
+			}
+			st.clock = end
+		case cEagerIsend:
+			s.eagerSend(r, st, op)
+			s.addSlot(st, slot{req: op.req, peer: op.peer, tag: op.tag, size: op.size, done: true, ready: st.clock, active: true})
+		case cIrecv:
+			s.postIrecv(r, op)
+		case cWaitAll:
+			if !s.doWaitAll(r) {
+				return
+			}
+		case cEagerSend:
+			s.eagerSend(r, st, op)
+		case cRdvIsend:
+			s.startRdv(r, st, op, op.req)
+			s.addSlot(st, slot{req: op.req, peer: op.peer, tag: op.tag, size: op.size, active: true})
+		case cRdvSend:
+			// Rendezvous blocking send: pay o, emit RTS, block until CTS.
+			idx := s.startRdv(r, st, op, -1)
+			st.block = blockedSendCTS
+			st.blockMsg = idx
+			return
+		case cRecv:
 			if !s.startRecv(r, op) {
 				return
 			}
-		case trace.OpIrecv:
-			s.postIrecv(r, op)
-		case trace.OpWait:
-			if !s.doWait(r, op.Req) {
-				return
-			}
-		case trace.OpWaitAll:
-			if !s.doWaitAll(r) {
+		case cWait:
+			if !s.doWait(r, op.req) {
 				return
 			}
 		default:
@@ -461,61 +716,65 @@ func (s *Simulator) advance(r int32) {
 	s.active--
 }
 
-// startSend executes a blocking send. Returns false when the rank blocks
-// (rendezvous waiting for CTS).
-func (s *Simulator) startSend(r int32, op *trace.Op, _ int32) bool {
-	st := &s.ranks[r]
-	p := s.pair(r, op.Peer)
-	if p.Eager(op.Size) {
-		cpuEnd := s.extend(r, st.clock, p.SendCPU(op.Size))
-		inj := s.inject(r, cpuEnd, p, op.Size)
-		arr := inj + p.Transit(op.Size) + s.extraL(r, op.Peer)
-		s.q.Push(eventq.Event{Time: arr, Kind: evEagerArrive, Rank: op.Peer, A: int64(r), B: op.Size, C: int64(op.Tag)})
-		st.clock = cpuEnd
-		return true
+// eagerSend runs the eager-protocol send path shared by blocking and
+// nonblocking sends: extend the CPU by the precompiled send overhead,
+// serialize through the node NIC, and schedule the payload arrival.
+func (s *Simulator) eagerSend(r int32, st *rankState, op *cop) {
+	end := st.clock + op.dur
+	if end > s.nextNoise[r] {
+		end = s.extendSlow(r, st.clock, op.dur)
 	}
-	// Rendezvous: pay o, emit RTS, block until CTS.
-	cpuEnd := s.extend(r, st.clock, p.O)
-	st.clock = cpuEnd
-	idx := int32(len(s.msgs))
-	s.msgs = append(s.msgs, rdvMsg{src: r, dst: op.Peer, tag: op.Tag, size: op.Size, srcReq: -1, dstSlot: -1})
-	s.q.Push(eventq.Event{Time: cpuEnd + p.L + s.extraL(r, op.Peer), Kind: evRTSArrive, Rank: op.Peer, A: int64(idx)})
-	st.block = blockedSendCTS
-	st.blockMsg = idx
-	return false
+	if s.profRank != nil {
+		p := &s.profRank[r]
+		p.work += op.dur
+		p.detour += end - st.clock - op.dur
+	}
+	node := s.node[r]
+	inj := end
+	if s.nic[node] > inj {
+		inj = s.nic[node]
+	}
+	s.nic[node] = inj + op.nicGap
+	s.q.Push(eventq.Event{Time: inj + op.transit, Kind: evEagerArrive, Rank: op.peer, A: r, B: op.size, C: op.tag})
+	st.clock = end
 }
 
-// startIsend executes a nonblocking send; the rank never blocks here.
-func (s *Simulator) startIsend(r int32, op *trace.Op) {
-	st := &s.ranks[r]
-	p := s.pair(r, op.Peer)
-	if p.Eager(op.Size) {
-		cpuEnd := s.extend(r, st.clock, p.SendCPU(op.Size))
-		inj := s.inject(r, cpuEnd, p, op.Size)
-		arr := inj + p.Transit(op.Size) + s.extraL(r, op.Peer)
-		s.q.Push(eventq.Event{Time: arr, Kind: evEagerArrive, Rank: op.Peer, A: int64(r), B: op.Size, C: int64(op.Tag)})
-		st.clock = cpuEnd
-		s.addSlot(st, slot{req: op.Req, peer: op.Peer, tag: op.Tag, size: op.Size, done: true, ready: cpuEnd, active: true})
-		return
-	}
-	cpuEnd := s.extend(r, st.clock, p.O)
+// startRdv pays the rendezvous send overhead, registers the message and
+// schedules its RTS arrival; srcReq is the sender's request id, -1 for
+// a blocking send.
+func (s *Simulator) startRdv(r int32, st *rankState, op *cop, srcReq int32) int32 {
+	cpuEnd := s.extend(r, st.clock, op.dur)
 	st.clock = cpuEnd
 	idx := int32(len(s.msgs))
-	s.msgs = append(s.msgs, rdvMsg{src: r, dst: op.Peer, tag: op.Tag, size: op.Size, srcReq: op.Req, dstSlot: -1})
-	s.q.Push(eventq.Event{Time: cpuEnd + p.L + s.extraL(r, op.Peer), Kind: evRTSArrive, Rank: op.Peer, A: int64(idx)})
-	s.addSlot(st, slot{req: op.Req, peer: op.Peer, tag: op.Tag, size: op.Size, active: true})
+	s.msgs = append(s.msgs, rdvMsg{src: r, dst: op.peer, tag: op.tag, size: op.size, srcReq: srcReq, dstSlot: -1})
+	s.q.Push(eventq.Event{Time: cpuEnd + op.transit, Kind: evRTSArrive, Rank: op.peer, A: idx})
+	return idx
 }
 
 func (s *Simulator) addSlot(st *rankState, sl slot) int32 {
-	// Reuse an inactive slot if available to bound growth.
-	for i := range st.slots {
+	// Reuse the lowest-index inactive slot if available to bound
+	// growth; freeMin makes the scan resume where free slots can
+	// first appear instead of from zero.
+	var idx int32 = -1
+	for i := int(st.freeMin); i < len(st.slots); i++ {
 		if !st.slots[i].active {
 			st.slots[i] = sl
-			return int32(i)
+			idx = int32(i)
+			break
 		}
 	}
-	st.slots = append(st.slots, sl)
-	return int32(len(st.slots) - 1)
+	if idx < 0 {
+		st.slots = append(st.slots, sl)
+		idx = int32(len(st.slots) - 1)
+	}
+	st.freeMin = idx + 1
+	if !sl.done {
+		st.pending++
+		if sl.isRecv && !sl.claimed && sl.req >= 0 {
+			st.postedInsert(postedEnt{idx: idx, peer: sl.peer, tag: sl.tag})
+		}
+	}
+	return idx
 }
 
 // matchUnexpected finds the earliest-arrived unexpected message matching
@@ -532,9 +791,9 @@ func (s *Simulator) matchUnexpected(st *rankState, peer, tag int32) (unexp, bool
 }
 
 // startRecv executes a blocking receive. Returns false when blocked.
-func (s *Simulator) startRecv(r int32, op *trace.Op) bool {
+func (s *Simulator) startRecv(r int32, op *cop) bool {
 	st := &s.ranks[r]
-	if u, ok := s.matchUnexpected(st, op.Peer, op.Tag); ok {
+	if u, ok := s.matchUnexpected(st, op.peer, op.tag); ok {
 		if u.msg < 0 {
 			// Eager payload already here: charge receive CPU and go.
 			st.clock = s.extend(r, max64(st.clock, u.arr), s.pair(u.src, r).RecvCPU(u.size))
@@ -544,15 +803,15 @@ func (s *Simulator) startRecv(r int32, op *trace.Op) bool {
 		}
 		// Rendezvous RTS already here: answer CTS and wait for payload.
 		m := &s.msgs[u.msg]
-		cts := max64(st.clock, m.rtsATime) + s.pair(m.src, r).L + s.extraL(r, m.src)
-		s.q.Push(eventq.Event{Time: cts, Kind: evCTSArrive, Rank: m.src, A: int64(u.msg)})
+		cts := max64(st.clock, m.rtsATime) + s.pair(m.src, r).L + s.xl(r, m.src)
+		s.q.Push(eventq.Event{Time: cts, Kind: evCTSArrive, Rank: m.src, A: u.msg})
 		st.block = blockedRecv
 		st.blockMsg = u.msg
 		m.dstSlot = -2 // blocking receive, no slot
 		return false
 	}
 	// Nothing here yet: post and block.
-	idx := s.addSlot(st, slot{req: -1, peer: op.Peer, tag: op.Tag, size: op.Size, isRecv: true, posted: st.clock, active: true})
+	idx := s.addSlot(st, slot{req: -1, peer: op.peer, tag: op.tag, size: op.size, isRecv: true, posted: st.clock, active: true})
 	st.block = blockedRecv
 	st.blockMsg = -1
 	st.blockReq = idx // remember which slot the blocking recv owns
@@ -560,23 +819,25 @@ func (s *Simulator) startRecv(r int32, op *trace.Op) bool {
 }
 
 // postIrecv posts a nonblocking receive and tries to match immediately.
-func (s *Simulator) postIrecv(r int32, op *trace.Op) {
+func (s *Simulator) postIrecv(r int32, op *cop) {
 	st := &s.ranks[r]
-	if u, ok := s.matchUnexpected(st, op.Peer, op.Tag); ok {
+	if u, ok := s.matchUnexpected(st, op.peer, op.tag); ok {
 		if u.msg < 0 {
-			s.addSlot(st, slot{req: op.Req, peer: u.src, tag: u.tag, size: u.size, isRecv: true, done: true, ready: u.arr, active: true})
+			s.addSlot(st, slot{req: op.req, peer: u.src, tag: u.tag, size: u.size, isRecv: true, done: true, ready: u.arr, active: true})
 			s.res.Messages++
 			s.res.BytesMoved += u.size
 			return
 		}
 		m := &s.msgs[u.msg]
-		idx := s.addSlot(st, slot{req: op.Req, peer: u.src, tag: u.tag, size: m.size, isRecv: true, posted: st.clock, active: true})
+		// Claimed from birth: this slot is bound to the rendezvous
+		// payload it just matched and must not match other arrivals.
+		idx := s.addSlot(st, slot{req: op.req, peer: u.src, tag: u.tag, size: m.size, isRecv: true, claimed: true, posted: st.clock, active: true})
 		m.dstSlot = idx
-		cts := max64(st.clock, m.rtsATime) + s.pair(m.src, r).L + s.extraL(r, m.src)
-		s.q.Push(eventq.Event{Time: cts, Kind: evCTSArrive, Rank: m.src, A: int64(u.msg)})
+		cts := max64(st.clock, m.rtsATime) + s.pair(m.src, r).L + s.xl(r, m.src)
+		s.q.Push(eventq.Event{Time: cts, Kind: evCTSArrive, Rank: m.src, A: u.msg})
 		return
 	}
-	s.addSlot(st, slot{req: op.Req, peer: op.Peer, tag: op.Tag, size: op.Size, isRecv: true, posted: st.clock, active: true})
+	s.addSlot(st, slot{req: op.req, peer: op.peer, tag: op.tag, size: op.size, isRecv: true, posted: st.clock, active: true})
 }
 
 // findSlotByReq returns the index of the active slot with the request id.
@@ -609,7 +870,7 @@ func (s *Simulator) doWait(r int32, req int32) bool {
 	} else {
 		s.waitUntil(r, sl.ready)
 	}
-	sl.active = false
+	st.freeSlot(idx)
 	return true
 }
 
@@ -621,8 +882,7 @@ func (s *Simulator) waitUntil(r int32, till int64) {
 		return
 	}
 	if s.prof != nil {
-		s.prof.Wait += till - st.clock
-		s.prof.PerRankWait[r] += till - st.clock
+		s.profRank[r].wait += till - st.clock
 	}
 	st.clock = till
 }
@@ -641,11 +901,12 @@ func (s *Simulator) recvParams(sl *slot, r int32) *netmodel.Params {
 // is still pending.
 func (s *Simulator) doWaitAll(r int32) bool {
 	st := &s.ranks[r]
-	for i := range st.slots {
-		if st.slots[i].active && !st.slots[i].done {
-			st.block = blockedWaitAll
-			return false
-		}
+	// pending counts active-and-not-done slots; this check runs on
+	// every completion event while the rank is blocked here, so it
+	// must not rescan the slot table.
+	if st.pending > 0 {
+		st.block = blockedWaitAll
+		return false
 	}
 	for i := range st.slots {
 		sl := &st.slots[i]
@@ -659,6 +920,7 @@ func (s *Simulator) doWaitAll(r int32) bool {
 		}
 		sl.active = false
 	}
+	st.freeMin = 0
 	return true
 }
 
@@ -670,7 +932,7 @@ func (s *Simulator) eagerArrive(dst int32, src int32, size int64, tag int32, arr
 		slIdx := st.blockReq
 		sl := &st.slots[slIdx]
 		if (sl.peer == trace.AnySource || sl.peer == src) && (sl.tag == trace.AnyTag || sl.tag == tag) {
-			sl.active = false
+			st.freeSlot(slIdx)
 			st.clock = s.extend(dst, max64(st.clock, arr), s.pair(src, dst).RecvCPU(size))
 			s.res.Messages++
 			s.res.BytesMoved += size
@@ -679,15 +941,18 @@ func (s *Simulator) eagerArrive(dst int32, src int32, size int64, tag int32, arr
 			return
 		}
 	}
-	// A posted irecv?
-	for i := range st.slots {
-		sl := &st.slots[i]
-		if sl.active && sl.isRecv && !sl.done && sl.req >= 0 &&
-			(sl.peer == trace.AnySource || sl.peer == src) &&
-			(sl.tag == trace.AnyTag || sl.tag == tag) {
+	// A posted irecv? st.posted holds exactly the matchable candidates
+	// in ascending slot order — the order the full slot scan visited.
+	for k := 0; k < len(st.posted); k++ {
+		pe := &st.posted[k]
+		if (pe.peer == trace.AnySource || pe.peer == src) &&
+			(pe.tag == trace.AnyTag || pe.tag == tag) {
+			sl := &st.slots[pe.idx]
 			sl.done = true
 			sl.ready = max64(arr, sl.posted)
 			sl.size = size
+			st.pending--
+			st.postedRemoveAt(k)
 			s.res.Messages++
 			s.res.BytesMoved += size
 			s.maybeUnblockWait(dst, sl.req)
@@ -707,22 +972,31 @@ func (s *Simulator) rtsArrive(msgIdx int32, arr int64) {
 		slIdx := st.blockReq
 		sl := &st.slots[slIdx]
 		if (sl.peer == trace.AnySource || sl.peer == m.src) && (sl.tag == trace.AnyTag || sl.tag == m.tag) {
-			sl.active = false
+			st.freeSlot(slIdx)
 			m.dstSlot = -2
 			st.blockMsg = msgIdx
-			s.q.Push(eventq.Event{Time: max64(sl.posted, arr) + s.pair(m.src, m.dst).L + s.extraL(m.dst, m.src), Kind: evCTSArrive, Rank: m.src, A: int64(msgIdx)})
+			s.q.Push(eventq.Event{Time: max64(sl.posted, arr) + s.pair(m.src, m.dst).L + s.xl(m.dst, m.src), Kind: evCTSArrive, Rank: m.src, A: msgIdx})
 			return
 		}
 	}
 	// Posted irecv?
-	for i := range st.slots {
-		sl := &st.slots[i]
-		if sl.active && sl.isRecv && !sl.done && sl.req >= 0 &&
-			(sl.peer == trace.AnySource || sl.peer == m.src) &&
-			(sl.tag == trace.AnyTag || sl.tag == m.tag) {
-			m.dstSlot = int32(i)
+	for k := 0; k < len(st.posted); k++ {
+		pe := &st.posted[k]
+		if (pe.peer == trace.AnySource || pe.peer == m.src) &&
+			(pe.tag == trace.AnyTag || pe.tag == m.tag) {
+			i := pe.idx
+			sl := &st.slots[i]
+			m.dstSlot = i
 			sl.size = m.size
-			s.q.Push(eventq.Event{Time: max64(sl.posted, arr) + s.pair(m.src, m.dst).L + s.extraL(m.dst, m.src), Kind: evCTSArrive, Rank: m.src, A: int64(msgIdx)})
+			// Claim the slot: it now belongs to this rendezvous payload
+			// and must not match further arrivals. (The pre-overhaul
+			// scan left it matchable until the payload landed, letting a
+			// same-(source,tag) eager message hijack an RTS-matched
+			// request; expanded traces use unique per-instance tags, so
+			// figure outputs are unaffected.)
+			sl.claimed = true
+			st.postedRemoveAt(k)
+			s.q.Push(eventq.Event{Time: max64(sl.posted, arr) + s.pair(m.src, m.dst).L + s.xl(m.dst, m.src), Kind: evCTSArrive, Rank: m.src, A: msgIdx})
 			return
 		}
 	}
@@ -739,7 +1013,7 @@ func (s *Simulator) ctsArrive(msgIdx int32, arr int64) {
 		// idle since the RTS was issued).
 		cpuEnd := s.extend(m.src, max64(st.clock, arr), p.SendCPU(m.size))
 		inj := s.inject(m.src, cpuEnd, p, m.size)
-		s.q.Push(eventq.Event{Time: inj + p.Transit(m.size) + s.extraL(m.src, m.dst), Kind: evDataArrive, Rank: m.dst, A: int64(msgIdx)})
+		s.q.Push(eventq.Event{Time: inj + p.Transit(m.size) + s.xl(m.src, m.dst), Kind: evDataArrive, Rank: m.dst, A: msgIdx})
 		st.clock = cpuEnd
 		st.pc++ // past the blocking send
 		s.advance(m.src)
@@ -747,11 +1021,12 @@ func (s *Simulator) ctsArrive(msgIdx int32, arr int64) {
 	}
 	// Nonblocking send: NIC-only injection (see package comment).
 	inj := s.inject(m.src, arr, p, m.size)
-	s.q.Push(eventq.Event{Time: inj + p.Transit(m.size) + s.extraL(m.src, m.dst), Kind: evDataArrive, Rank: m.dst, A: int64(msgIdx)})
+	s.q.Push(eventq.Event{Time: inj + p.Transit(m.size) + s.xl(m.src, m.dst), Kind: evDataArrive, Rank: m.dst, A: msgIdx})
 	idx := findSlotByReq(st, m.srcReq)
 	if idx >= 0 {
 		st.slots[idx].done = true
 		st.slots[idx].ready = inj
+		st.pending--
 		s.maybeUnblockWait(m.src, m.srcReq)
 	}
 }
@@ -773,6 +1048,7 @@ func (s *Simulator) dataArrive(msgIdx int32, arr int64) {
 	sl := &st.slots[m.dstSlot]
 	sl.done = true
 	sl.ready = arr
+	st.pending--
 	s.maybeUnblockWait(m.dst, sl.req)
 }
 
@@ -803,3 +1079,8 @@ func max64(a, b int64) int64 {
 	}
 	return b
 }
+
+const (
+	maxInt64 = int64(^uint64(0) >> 1)
+	minInt64 = -maxInt64 - 1
+)

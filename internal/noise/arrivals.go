@@ -19,6 +19,16 @@ type Arrivals interface {
 	fmt.Stringer
 }
 
+// GapBatcher is implemented by arrival processes that can draw a block
+// of gaps in one call. The draws must consume the rng stream exactly as
+// the same number of successive NextGap calls would, so batched and
+// unbatched generation yield bit-identical arrival schedules. CE uses
+// this to amortize the per-arrival interface call when the duration
+// model draws no randomness of its own.
+type GapBatcher interface {
+	AppendGaps(dst []int64, src *rng.Source, state *uint64, n int) []int64
+}
+
 // Poisson is the paper's arrival model: exponential inter-arrivals with
 // the given mean (MTBCE), i.e. a homogeneous Poisson process.
 type Poisson int64
@@ -26,6 +36,15 @@ type Poisson int64
 // NextGap draws an exponential gap.
 func (p Poisson) NextGap(src *rng.Source, _ *uint64) int64 {
 	return int64(src.Exp(float64(p)))
+}
+
+// AppendGaps draws n exponential gaps in one call.
+func (p Poisson) AppendGaps(dst []int64, src *rng.Source, _ *uint64, n int) []int64 {
+	mean := float64(p)
+	for i := 0; i < n; i++ {
+		dst = append(dst, int64(src.Exp(mean)))
+	}
+	return dst
 }
 
 // MeanGap returns the MTBCE.
@@ -81,6 +100,15 @@ func (b Bursty) NextGap(src *rng.Source, state *uint64) int64 {
 	return int64(src.Exp(float64(b.BurstGap)))
 }
 
+// AppendGaps draws n gaps in one call, consuming the rng stream exactly
+// as n NextGap calls would.
+func (b Bursty) AppendGaps(dst []int64, src *rng.Source, state *uint64, n int) []int64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, b.NextGap(src, state))
+	}
+	return dst
+}
+
 // MeanGap returns the long-run mean inter-arrival:
 // (quiet + (L-1)*burstGap) / L for mean burst length L.
 func (b Bursty) MeanGap() float64 {
@@ -117,6 +145,14 @@ func (w Weibull) NextGap(src *rng.Source, _ *uint64) int64 {
 		u = src.Float64()
 	}
 	return int64(w.Scale * math.Pow(-math.Log(u), 1/w.Shape))
+}
+
+// AppendGaps draws n Weibull gaps in one call.
+func (w Weibull) AppendGaps(dst []int64, src *rng.Source, state *uint64, n int) []int64 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, w.NextGap(src, state))
+	}
+	return dst
 }
 
 // MeanGap returns lambda * Gamma(1 + 1/k).

@@ -35,6 +35,15 @@ type Model interface {
 	Extend(node int32, start, dur int64) int64
 }
 
+// ArrivalPeeker is implemented by models that can report the next
+// detour arrival time on a node. Callers may skip Extend for any work
+// interval ending at or before the reported time (no arrival lands in
+// it, so Extend would be an expensive no-op), but must re-query after
+// every Extend call on that node, which may advance the schedule.
+type ArrivalPeeker interface {
+	NextArrival(node int32) int64
+}
+
 // None is the noise-free model.
 type None struct{}
 
@@ -53,8 +62,16 @@ type Duration interface {
 	fmt.Stringer
 }
 
+// rngFreeDuration marks duration models whose Sample never draws from
+// the rng stream. Only then may CE batch arrival-gap generation: a
+// stream shared between arrivals and durations must be consumed in
+// strict alternation to stay bit-identical with unbatched replay.
+type rngFreeDuration interface{ rngFree() }
+
 // Fixed is a constant per-event handling time.
 type Fixed int64
+
+func (Fixed) rngFree() {}
 
 // Sample returns the fixed duration.
 func (f Fixed) Sample(*rng.Source, uint64) int64 { return int64(f) }
@@ -73,6 +90,8 @@ type EveryNth struct {
 	Extra int64
 	N     uint64
 }
+
+func (EveryNth) rngFree() {}
 
 // Sample returns Base, plus Extra when count is a multiple of N.
 func (e EveryNth) Sample(_ *rng.Source, count uint64) int64 {
@@ -131,6 +150,11 @@ type Config struct {
 	// the node is marked saturated and further charging on that
 	// interval stops. Zero means the default of 10,000.
 	SaturationFactor int64
+	// DisableBatch draws arrival gaps one at a time even when the
+	// arrival process supports prefetching. The gap sequence is
+	// bit-identical either way; the toggle exists so differential
+	// tests can replay both paths in one process.
+	DisableBatch bool
 }
 
 // arrivals returns the effective arrival process.
@@ -183,6 +207,12 @@ func (c Config) LoadFactor() float64 {
 	return c.Duration.Mean() / mg
 }
 
+// gapBatch is the number of inter-arrival gaps drawn per refill when
+// the arrival process supports batching. Small enough that a run's
+// worth of prefetched gaps stays in one cache line, large enough to
+// amortize the per-gap interface call.
+const gapBatch = 16
+
 // nodeState is the lazily generated arrival stream of one node.
 type nodeState struct {
 	src      *rng.Source
@@ -190,6 +220,11 @@ type nodeState struct {
 	count    uint64 // CEs handled so far (drives EveryNth)
 	arrState uint64 // arrival-process state (e.g. remaining burst)
 	started  bool
+	// Prefetched inter-arrival gaps (batching enabled): gaps[gi:gn]
+	// are pending. Prefetching reorders nothing — the stream feeds
+	// only the arrival process when batching is on.
+	gi, gn int32
+	gaps   [gapBatch]int64
 }
 
 // CE is the correctable-error detour model.
@@ -201,6 +236,14 @@ type CE struct {
 	// one heap allocation per CPU-busy interval, dominating the
 	// simulator's allocation profile.
 	arr Arrivals
+	// batcher is non-nil when arrival gaps are drawn gapBatch at a
+	// time: the process implements GapBatcher and the duration model
+	// draws no randomness, so prefetching cannot reorder the stream.
+	batcher GapBatcher
+	// meanGap is arr.MeanGap() truncated to ns, cached so the
+	// saturation guard does not re-derive it (a float call, and for
+	// Weibull a Gamma evaluation) on every Extend.
+	meanGap int64
 	// nodes is indexed by node id; states are created on first use.
 	nodes []nodeState
 
@@ -222,7 +265,53 @@ func NewCE(n int, cfg Config) (*CE, error) {
 	if cfg.SaturationFactor == 0 {
 		cfg.SaturationFactor = 10000
 	}
-	return &CE{cfg: cfg, arr: cfg.arrivals(), nodes: make([]nodeState, n)}, nil
+	m := &CE{cfg: cfg, arr: cfg.arrivals(), nodes: make([]nodeState, n)}
+	m.meanGap = int64(m.arr.MeanGap())
+	if b, ok := m.arr.(GapBatcher); ok && !cfg.DisableBatch {
+		if _, free := cfg.Duration.(rngFreeDuration); free {
+			m.batcher = b
+		}
+	}
+	return m, nil
+}
+
+// start initializes a node's arrival stream and draws its first gap.
+func (m *CE) start(st *nodeState, node int32) {
+	st.src = rng.NewStream(m.cfg.Seed, uint64(node))
+	st.started = true
+	st.next = m.nextGap(st)
+}
+
+// nextGap draws the node's next inter-arrival gap, refilling the
+// prefetch buffer when batching is enabled. The gap sequence is
+// bit-identical either way.
+func (m *CE) nextGap(st *nodeState) int64 {
+	if m.batcher == nil {
+		return m.arr.NextGap(st.src, &st.arrState)
+	}
+	if st.gi == st.gn {
+		g := m.batcher.AppendGaps(st.gaps[:0], st.src, &st.arrState, gapBatch)
+		st.gi, st.gn = 0, int32(len(g))
+	}
+	g := st.gaps[st.gi]
+	st.gi++
+	return g
+}
+
+// NextArrival returns the time of the node's next CE arrival, starting
+// the node's stream on first use. The simulator caches this to skip
+// Extend entirely for work intervals that no arrival can reach — the
+// overwhelmingly common case at realistic MTBCEs — and must refresh
+// the cache after every Extend call on the node.
+func (m *CE) NextArrival(node int32) int64 {
+	if m.cfg.Target != AllNodes && node != m.cfg.Target {
+		return math.MaxInt64
+	}
+	st := &m.nodes[node]
+	if !st.started {
+		m.start(st, node)
+	}
+	return st.next
 }
 
 // Extend implements Model. The rank's CPU timeline must be queried with
@@ -233,11 +322,13 @@ func (m *CE) Extend(node int32, start, dur int64) int64 {
 		return start + dur
 	}
 	st := &m.nodes[node]
-	arr := m.arr
 	if !st.started {
-		st.src = rng.NewStream(m.cfg.Seed, uint64(node))
-		st.next = arr.NextGap(st.src, &st.arrState)
-		st.started = true
+		m.start(st, node)
+	}
+	end := start + dur
+	if st.next >= end {
+		// No arrival can land in this window; don't touch the stream.
+		return end
 	}
 	// CEs that arrived while the node was idle are skipped without
 	// charge: the handling happened while the application had nothing
@@ -245,12 +336,11 @@ func (m *CE) Extend(node int32, start, dur int64) int64 {
 	// but the first-order model matches LogGOPSim's noise injection.)
 	for st.next < start {
 		st.count++
-		st.next += arr.NextGap(st.src, &st.arrState)
+		st.next += m.nextGap(st)
 	}
-	end := start + dur
 	limit := dur
-	if mg := int64(arr.MeanGap()); mg > limit {
-		limit = mg
+	if m.meanGap > limit {
+		limit = m.meanGap
 	}
 	maxSteal := limit * m.cfg.SaturationFactor
 	var stolenHere int64
@@ -261,7 +351,7 @@ func (m *CE) Extend(node int32, start, dur int64) int64 {
 		stolenHere += d
 		m.events++
 		m.stolen += d
-		st.next += arr.NextGap(st.src, &st.arrState)
+		st.next += m.nextGap(st)
 		if stolenHere > maxSteal {
 			m.saturated = true
 			break
