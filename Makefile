@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint staticcheck bench bench-engine bench-engine-smoke cluster-smoke advisor-smoke
+.PHONY: build test lint staticcheck bench bench-engine bench-engine-smoke cluster-smoke advisor-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -54,3 +54,11 @@ cluster-smoke:
 advisor-smoke:
 	$(GO) test -race -count=1 -run 'TestAdvisorSmokeGolden|TestAdviseIngestChaos' ./internal/server/
 	$(GO) test -race -count=1 -run 'TestRecommendDeterminismPermutedBatches' ./internal/advise/
+
+# Kill-and-restart acceptance (docs/DURABILITY.md): build the real
+# cesimd binary, SIGKILL it mid-campaign (standalone with a journaled
+# sweep in flight, and a coordinator mid-sweep with a live worker),
+# restart over the same -data-dir, and require the recovered results to
+# be bit-identical to a direct sequential computation.
+crash-smoke:
+	$(GO) test -race -count=1 -run 'TestCrashSmoke' ./cmd/cesimd/

@@ -1,0 +1,298 @@
+package main
+
+// Kill-and-restart acceptance at process scope (make crash-smoke):
+// a real cesimd binary is SIGKILLed mid-work and restarted over the
+// same -data-dir, and the recovered results must be byte-identical to
+// a direct in-process computation. Two scenarios: a standalone daemon
+// killed with a journaled sweep in flight, and a cluster coordinator
+// killed mid-sweep with a live worker attached.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// buildDaemon compiles cesimd into a temp dir once per test.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "cesimd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("build cesimd: %v", err)
+	}
+	return bin
+}
+
+// freeAddr reserves and releases a loopback port. Go listeners set
+// SO_REUSEADDR, so the restarted daemon can re-bind it immediately.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startDaemon launches the binary and registers a hard-kill cleanup
+// for the test-failure path.
+func startDaemon(t *testing.T, bin string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	})
+	return cmd
+}
+
+// sigkill delivers the crash under test: SIGKILL, no drain, no
+// journal close.
+func sigkill(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd.Process.Wait()
+}
+
+// waitHealthy polls the daemon's metrics endpoint until it answers.
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon at %s never became healthy: %v", base, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func postJSONBody(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		_ = json.NewDecoder(resp.Body).Decode(out)
+	}
+	return resp.StatusCode
+}
+
+// crashOpts sizes the sweep so the SIGKILL reliably lands mid-flight
+// while recomputation stays test-sized.
+func crashOpts(workloads []string) core.Options {
+	return core.Options{Nodes: 256, Iterations: 5, Reps: 2, Seed: 1,
+		Workloads: workloads, Scale: core.Reduced}
+}
+
+// wantFigure4 computes the sequential ground truth for crashOpts.
+func wantFigure4(t *testing.T, workloads []string) []byte {
+	t.Helper()
+	fig, err := core.Figure4(crashOpts(workloads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return compactJSON(t, buf.Bytes())
+}
+
+// compactJSON strips transport re-indentation so figure bytes compare
+// canonically. Number tokens pass through verbatim, so any value
+// divergence still fails the bit-identity check.
+func compactJSON(t *testing.T, b []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, b); err != nil {
+		t.Fatalf("compact: %v (%.120s)", err, b)
+	}
+	return buf.Bytes()
+}
+
+// TestCrashSmokeStandalone kills a standalone daemon right after it
+// accepts a sweep job. The restarted daemon must re-enqueue the job
+// under its original id from the WAL and finish it with bytes equal to
+// the direct computation.
+func TestCrashSmokeStandalone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash smoke skipped in -short")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+	addr := freeAddr(t)
+	base := "http://" + addr
+
+	daemon := startDaemon(t, bin, "-addr", addr, "-data-dir", dataDir)
+	waitHealthy(t, base)
+
+	sweep := map[string]any{"figure": "4", "nodes": 256, "iters": 5, "reps": 2,
+		"seed": 1, "workloads": []string{"minife"}}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if code := postJSONBody(t, base+"/v1/sweep", sweep, &sub); code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	// The acceptance record hit the WAL before the 202; kill now, with
+	// the job in flight.
+	sigkill(t, daemon)
+
+	startDaemon(t, bin, "-addr", addr, "-data-dir", dataDir)
+	waitHealthy(t, base)
+
+	var snap struct {
+		State  string          `json:"state"`
+		Error  string          `json:"error"`
+		Result json.RawMessage `json:"result"`
+	}
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		code := resp.StatusCode
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if code == http.StatusNotFound {
+			t.Fatalf("job %s lost across the crash", sub.ID)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.State == "succeeded" || snap.State == "failed" || snap.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered job stuck in %q", snap.State)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if snap.State != "succeeded" {
+		t.Fatalf("recovered job %s: %s", snap.State, snap.Error)
+	}
+	got := compactJSON(t, snap.Result)
+	if want := wantFigure4(t, []string{"minife"}); !bytes.Equal(got, want) {
+		t.Fatalf("recovered sweep result differs from direct computation\n got: %.300s\nwant: %.300s", got, want)
+	}
+}
+
+// TestCrashSmokeCoordinator kills a durable coordinator after its
+// worker finishes the first of two cells. The restarted coordinator
+// must recover the sweep from its journal, re-offer only the
+// unfinished cell to the (re-registering) worker, and merge a figure
+// byte-identical to the sequential driver.
+func TestCrashSmokeCoordinator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash smoke skipped in -short")
+	}
+	bin := buildDaemon(t)
+	dataDir := t.TempDir()
+	coordAddr := freeAddr(t)
+	workerAddr := freeAddr(t)
+	base := "http://" + coordAddr
+
+	coord := startDaemon(t, bin, "-addr", coordAddr, "-role", "coordinator", "-data-dir", dataDir)
+	waitHealthy(t, base)
+	startDaemon(t, bin, "-addr", workerAddr, "-role", "worker", "-join", base)
+
+	spec := map[string]any{"figures": []string{"4"}, "nodes": 256, "iters": 5,
+		"reps": 2, "seed": 1, "workloads": []string{"minife", "hpcg"}}
+	var created struct {
+		ID     string `json:"id"`
+		Shards int    `json:"shards"`
+	}
+	if code := postJSONBody(t, base+"/cluster/sweep", spec, &created); code != http.StatusAccepted || created.Shards != 2 {
+		t.Fatalf("create sweep: http %d (%+v)", code, created)
+	}
+
+	type sweepView struct {
+		State   string                     `json:"state"`
+		Done    int                        `json:"done"`
+		Error   string                     `json:"error"`
+		Figures map[string]json.RawMessage `json:"figures"`
+	}
+	getSweep := func() (sweepView, int) {
+		var v sweepView
+		resp, err := http.Get(base + "/cluster/sweep/" + created.ID)
+		if err != nil {
+			return v, 0 // restart window: connection refused
+		}
+		defer resp.Body.Close()
+		_ = json.NewDecoder(resp.Body).Decode(&v)
+		return v, resp.StatusCode
+	}
+
+	// Wait for the first cell, then crash the coordinator mid-sweep.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if v, code := getSweep(); code == http.StatusOK && v.Done >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first shard never completed")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	sigkill(t, coord)
+
+	startDaemon(t, bin, "-addr", coordAddr, "-role", "coordinator", "-data-dir", dataDir)
+	waitHealthy(t, base)
+
+	deadline = time.Now().Add(180 * time.Second)
+	var final sweepView
+	for {
+		v, code := getSweep()
+		if code == http.StatusNotFound {
+			t.Fatalf("sweep %s lost across the crash", created.ID)
+		}
+		if code == http.StatusOK && v.State != "running" {
+			final = v
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("recovered sweep stuck: %+v", v)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if final.State != "done" {
+		t.Fatalf("recovered sweep %s: %s", final.State, final.Error)
+	}
+	if !bytes.Equal(compactJSON(t, final.Figures["4"]), wantFigure4(t, []string{"minife", "hpcg"})) {
+		t.Fatal("recovered merge differs from the sequential driver")
+	}
+}

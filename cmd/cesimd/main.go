@@ -21,6 +21,15 @@
 //	curl -s -X POST localhost:8080/v1/simulate -d \
 //	  '{"workload":"lulesh","nodes":512,"system":"exascale-cielo-x10","mode":"firmware-emca"}'
 //
+// With -data-dir the daemon is durable (docs/DURABILITY.md): submitted
+// jobs are journaled to a write-ahead log and re-enqueued under their
+// original ids after a crash, sweep results persist in a
+// content-addressed store, and a coordinator recovers its sweeps from
+// a journal on restart, re-offering only unfinished cells.
+//
+//	cesimd -addr :8080 -data-dir /var/lib/cesimd
+//	cesimd -addr :8080 -data-dir /var/lib/cesimd -tenant-rate 5 -tenant-disk-mb 256
+//
 // SIGINT/SIGTERM drain gracefully: the listener stops, queued and
 // running jobs finish (up to -drain-timeout), then the process exits.
 package main
@@ -34,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -41,8 +51,10 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
+	"repro/internal/journal"
 	"repro/internal/server"
 	"repro/internal/simcache"
+	"repro/internal/tenant"
 )
 
 func main() {
@@ -67,6 +79,12 @@ func main() {
 		advBatch     = flag.Int("advise-batch", 10000, "advisor: max events per ingest batch")
 		advCache     = flag.Int("advise-cache", 1024, "advisor: recommendation cache entries (negative = disabled)")
 		advHalfLife  = flag.Duration("advise-half-life", 4*time.Hour, "advisor: estimator decay half-life")
+
+		dataDir      = flag.String("data-dir", "", "durable state directory (job WAL, result store, coordinator journal; empty = in-memory only, docs/DURABILITY.md)")
+		tenantRate   = flag.Float64("tenant-rate", 0, "per-tenant sustained submissions/sec (0 = unlimited)")
+		tenantBurst  = flag.Int("tenant-burst", 0, "per-tenant submission burst (0 = derived from -tenant-rate)")
+		tenantJobs   = flag.Int("tenant-jobs", 0, "per-tenant in-flight job cap (0 = unlimited)")
+		tenantDiskMB = flag.Int("tenant-disk-mb", 0, "per-tenant result-store footprint cap in MiB (0 = unlimited)")
 
 		role       = flag.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
 		join       = flag.String("join", "", "coordinator URL to join (requires -role worker)")
@@ -105,23 +123,76 @@ func main() {
 		logger.Printf("FAULT INJECTION ARMED from %s (%d sites) — results serve degraded-path drills, not production", *faultsPath, len(plan))
 	}
 
-	queue := jobs.New(jobs.Config{
+	// The durable tier (docs/DURABILITY.md): a job WAL so a killed
+	// daemon re-enqueues unfinished work, a content-addressed result
+	// store so repeated sweeps re-serve stored bytes verbatim, and (for
+	// a coordinator) a sweep journal so a restart re-offers only
+	// unfinished cells. All three live under -data-dir and are absent
+	// without it.
+	var (
+		jobWAL *journal.Writer
+		store  *simcache.Store
+	)
+	if *dataDir != "" {
+		var err error
+		jobWAL, err = journal.Open(filepath.Join(*dataDir, "jobs-wal"), journal.Options{})
+		if err != nil {
+			logger.Fatal(err)
+		}
+		store, err = simcache.OpenStore(filepath.Join(*dataDir, "store"))
+		if err != nil {
+			logger.Fatal(err)
+		}
+		ss := store.Stats()
+		logger.Printf("result store: %d entries (%d bytes), %d quarantined at scan", ss.Entries, ss.SizeBytes, ss.Quarantined)
+	}
+
+	jobsCfg := jobs.Config{
 		Workers:  *workers,
 		Capacity: *queueDepth,
 		Timeout:  *jobTimeout,
 		Retain:   *retain,
-	})
+		Log:      logger,
+	}
+	if jobWAL != nil {
+		jobsCfg.Journal = jobWAL
+	}
+	queue := jobs.New(jobsCfg)
 	cache := simcache.New(int64(*cacheMB) << 20)
+
+	var tenants *tenant.Registry
+	if *tenantRate > 0 || *tenantJobs > 0 || *tenantDiskMB > 0 {
+		tenants = tenant.New(tenant.Config{Defaults: tenant.Limits{
+			RatePerSec: *tenantRate,
+			Burst:      *tenantBurst,
+			MaxJobs:    *tenantJobs,
+			DiskBytes:  int64(*tenantDiskMB) << 20,
+		}})
+	}
 
 	// A coordinator mounts the cluster endpoints through the same
 	// middleware stack as the simulate/sweep API, so shed, metrics and
-	// request-id stamping apply to lease traffic too.
+	// request-id stamping apply to lease traffic too. With -data-dir it
+	// recovers its sweeps from the journal and opens a new epoch.
 	var routes map[string]http.HandlerFunc
+	var coord *cluster.Coordinator
 	if *role == "coordinator" {
-		coord := cluster.NewCoordinator(cluster.Config{
+		ccfg := cluster.Config{
 			LeaseTTL:   *leaseTTL,
 			StealAfter: *stealAfter,
-		})
+		}
+		if *dataDir != "" {
+			var rst journal.ReplayStats
+			var err error
+			coord, rst, err = cluster.OpenCoordinator(context.Background(), ccfg, filepath.Join(*dataDir, "cluster-wal"))
+			if err != nil {
+				logger.Fatal(err)
+			}
+			logger.Printf("coordinator recovered: %d journal records (%d quarantined segments), epoch %d",
+				rst.Records, rst.Quarantined, coord.Epoch())
+		} else {
+			coord = cluster.NewCoordinator(ccfg)
+		}
 		routes = coord.Routes()
 	}
 
@@ -150,10 +221,25 @@ func main() {
 		ShedWatermark: *shedMark,
 		Advisor:       adv,
 		Routes:        routes,
+		ResultStore:   store,
+		Tenants:       tenants,
+		Journal:       jobWAL,
 		Log:           logger,
 	})
 	if err != nil {
 		logger.Fatal(err)
+	}
+
+	// Re-enqueue journaled jobs that never reached a terminal state,
+	// under their original ids, before the listener opens — a client
+	// polling a pre-crash job id finds its job again.
+	if *dataDir != "" {
+		n, rst, err := srv.Recover(context.Background(), filepath.Join(*dataDir, "jobs-wal"))
+		if err != nil {
+			logger.Fatal(err)
+		}
+		logger.Printf("job WAL: recovered %d unfinished jobs (%d records, %d quarantined segments, torn tail=%v)",
+			n, rst.Records, rst.Quarantined, rst.TornTail)
 	}
 
 	hs := &http.Server{
@@ -220,6 +306,16 @@ func main() {
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Printf("serve: %v", err)
+	}
+	if coord != nil {
+		if err := coord.Close(); err != nil {
+			logger.Printf("coordinator journal close: %v", err)
+		}
+	}
+	if jobWAL != nil {
+		if err := jobWAL.Close(); err != nil {
+			logger.Printf("job WAL close: %v", err)
+		}
 	}
 
 	st := queue.Stats()

@@ -58,6 +58,11 @@ func (s *Service) HandleIngest(w http.ResponseWriter, r *http.Request) {
 		status := http.StatusInternalServerError
 		if errors.Is(err, ErrTenantLimit) || errors.Is(err, ErrNodeLimit) {
 			status = http.StatusTooManyRequests
+			// Same backoff contract as the daemon's shed 503 and queue
+			// 429: every throttling response carries Retry-After so
+			// clients back off uniformly instead of special-casing the
+			// advisor (docs/ADVISOR.md).
+			w.Header().Set("Retry-After", "1")
 		}
 		writeError(w, status, "%v", err)
 		return

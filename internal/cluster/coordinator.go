@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/journal"
 	"repro/internal/rng"
 )
 
@@ -28,6 +29,12 @@ var (
 	// ErrSweepFailed reports a sweep whose shard exhausted its retry
 	// budget; the client surfaces it with the failing shard's error.
 	ErrSweepFailed = errors.New("cluster: sweep failed")
+	// ErrEpochMismatch reports traffic stamped with another coordinator
+	// generation: the worker is talking to a restarted coordinator (or a
+	// stale one) and must re-register. Its leases from the old epoch are
+	// void; its computed fragments stay welcome (reports are idempotent
+	// and bit-identical wherever they ran).
+	ErrEpochMismatch = errors.New("cluster: epoch mismatch")
 )
 
 // Config tunes the coordinator.
@@ -55,6 +62,11 @@ type Config struct {
 	// Now supplies timestamps; nil uses time.Now (injectable for
 	// deterministic tests).
 	Now func() time.Time
+	// Journal, when set, receives one durable record per recovery-
+	// relevant state transition (sweep created, lease granted, shard
+	// done/failed, sweep failed). OpenCoordinator wires a journal.Writer
+	// here and replays it on restart; tests may supply any appender.
+	Journal jobs.Appender
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +174,12 @@ type Coordinator struct {
 	sweepIDs  []string // creation order (lease scan + retention order)
 	workerSeq int
 	sweepSeq  int
+	// epoch is the coordinator generation: 1 in memory, replayed-max+1
+	// after a durable restart. Stamped into the register handshake and
+	// checked on lease/heartbeat/report traffic.
+	epoch uint64
+	// ownJournal is the writer OpenCoordinator created (Close closes it).
+	ownJournal *journal.Writer
 
 	// counters for /cluster/status.
 	grants          uint64
@@ -170,6 +188,7 @@ type Coordinator struct {
 	completedShards uint64
 	sweepsDone      uint64
 	sweepsFailed    uint64
+	journalErrors   uint64
 }
 
 // NewCoordinator builds an empty coordinator.
@@ -178,6 +197,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		cfg:     cfg.withDefaults(),
 		workers: map[string]*workerInfo{},
 		sweeps:  map[string]*sweep{},
+		epoch:   1,
 	}
 }
 
@@ -246,6 +266,12 @@ func (c *Coordinator) Lease(workerID string) (*Grant, error) {
 			sh.attempts++
 			sh.leaseExpiry = now.Add(c.cfg.LeaseTTL)
 			c.grants++
+			// The grant record's job is the attempt count: a lease never
+			// survives a restart, but the retry budget it consumed must.
+			c.journalLocked(coordRecord{
+				Op: copLease, SweepID: sw.id, Key: sh.cell.Key(),
+				Worker: workerID, Attempts: sh.attempts,
+			})
 			return &Grant{SweepID: sw.id, Key: sh.cell.Key(), Cell: sh.cell, Spec: sw.spec}, nil
 		}
 	}
@@ -319,6 +345,7 @@ func (c *Coordinator) Report(workerID, sweepID, key string, fragment *core.Figur
 		sh.worker = ""
 		sw.done++
 		c.completedShards++
+		c.journalShardDoneLocked(sw, sh)
 		if sw.done == len(sw.shards) {
 			sw.merged = mergeSweep(sw)
 			c.sweepsDone++
@@ -333,11 +360,16 @@ func (c *Coordinator) Report(workerID, sweepID, key string, fragment *core.Figur
 	c.failedAttempts++
 	sh.lastErr = reportErr
 	sh.worker = ""
+	c.journalLocked(coordRecord{
+		Op: copShardFailed, SweepID: sw.id, Key: key,
+		Attempts: sh.attempts, Error: reportErr,
+	})
 	if sh.attempts > c.cfg.Retry.Retries {
 		sh.state = shardFailed
 		sw.failed = true
 		sw.err = fmt.Sprintf("shard %s failed after %d attempts: %s", key, sh.attempts, reportErr)
 		c.sweepsFailed++
+		c.journalLocked(coordRecord{Op: copSweepFailed, SweepID: sw.id, Key: key, Error: sw.err})
 		c.retainLocked()
 		return nil
 	}
@@ -380,6 +412,9 @@ func (c *Coordinator) CreateSweep(spec Spec) (string, int, error) {
 	}
 	c.sweeps[sw.id] = sw
 	c.sweepIDs = append(c.sweepIDs, sw.id)
+	// The spec is journaled resolved, so replay's Cells() enumeration
+	// reproduces this exact shard plan (and so the merge order).
+	c.journalLocked(coordRecord{Op: copSweepCreated, SweepID: sw.id, Spec: &spec})
 	return sw.id, len(sw.shards), nil
 }
 
@@ -456,6 +491,9 @@ func (c *Coordinator) expireLocked(now time.Time) {
 				sw.err = fmt.Sprintf("shard %s lost its lease on attempt %d (budget %d)",
 					sh.cell.Key(), sh.attempts, c.cfg.Retry.Retries+1)
 				c.sweepsFailed++
+				c.journalLocked(coordRecord{
+					Op: copSweepFailed, SweepID: sw.id, Key: sh.cell.Key(), Error: sw.err,
+				})
 				c.retainLocked()
 				break
 			}
@@ -534,6 +572,8 @@ type SweepStatus struct {
 
 // Status is the merged-metrics view served on /cluster/status.
 type Status struct {
+	// Epoch is the coordinator generation workers must echo.
+	Epoch   uint64         `json:"epoch"`
 	Workers []WorkerStatus `json:"workers"`
 	Leases  []LeaseStatus  `json:"leases"`
 	Sweeps  []SweepStatus  `json:"sweeps"`
@@ -544,6 +584,9 @@ type Status struct {
 	CompletedShards uint64 `json:"completed_shards"`
 	SweepsDone      uint64 `json:"sweeps_done"`
 	SweepsFailed    uint64 `json:"sweeps_failed"`
+	// JournalErrors counts durable records that failed to append; each
+	// degraded durability but never a sweep.
+	JournalErrors uint64 `json:"journal_errors,omitempty"`
 }
 
 // StatusSnapshot reports workers (with lease ages), in-flight shards
@@ -554,12 +597,14 @@ func (c *Coordinator) StatusSnapshot() Status {
 	now := c.cfg.Now()
 	c.expireLocked(now)
 	st := Status{
+		Epoch:           c.epoch,
 		Grants:          c.grants,
 		Reassignments:   c.reassignments,
 		FailedAttempts:  c.failedAttempts,
 		CompletedShards: c.completedShards,
 		SweepsDone:      c.sweepsDone,
 		SweepsFailed:    c.sweepsFailed,
+		JournalErrors:   c.journalErrors,
 	}
 	leasesByWorker := map[string]int{}
 	for _, id := range c.sweepIDs {

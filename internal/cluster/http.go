@@ -24,10 +24,15 @@ type registerRequest struct {
 type registerResponse struct {
 	WorkerID     string `json:"worker_id"`
 	LeaseTTLNano int64  `json:"lease_ttl_ns"`
+	// Epoch is the coordinator generation the worker must echo on every
+	// subsequent call; a restarted coordinator answers later traffic
+	// with epoch_mismatch until the worker re-registers.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 type leaseRequest struct {
 	WorkerID string `json:"worker_id"`
+	Epoch    uint64 `json:"epoch,omitempty"`
 }
 
 // leaseResponse carries the grant, or None when the worker should poll
@@ -39,6 +44,7 @@ type leaseResponse struct {
 
 type heartbeatRequest struct {
 	WorkerID string     `json:"worker_id"`
+	Epoch    uint64     `json:"epoch,omitempty"`
 	Held     []ShardRef `json:"held,omitempty"`
 }
 
@@ -48,6 +54,7 @@ type heartbeatResponse struct {
 
 type reportRequest struct {
 	WorkerID string `json:"worker_id"`
+	Epoch    uint64 `json:"epoch,omitempty"`
 	SweepID  string `json:"sweep_id"`
 	Key      string `json:"key"`
 	// Figure holds the WriteJSON bytes of the cell fragment on success.
@@ -87,12 +94,14 @@ const (
 	codeUnknownWorker = "unknown_worker"
 	codeUnknownSweep  = "unknown_sweep"
 	codeUnknownShard  = "unknown_shard"
+	codeEpochMismatch = "epoch_mismatch"
 )
 
 var codeSentinels = map[string]error{
 	codeUnknownWorker: ErrUnknownWorker,
 	codeUnknownSweep:  ErrUnknownSweep,
 	codeUnknownShard:  ErrUnknownShard,
+	codeEpochMismatch: ErrEpochMismatch,
 }
 
 // errCode maps an error chain onto its wire code ("" when none).
@@ -104,6 +113,8 @@ func errCode(err error) string {
 		return codeUnknownSweep
 	case errors.Is(err, ErrUnknownShard):
 		return codeUnknownShard
+	case errors.Is(err, ErrEpochMismatch):
+		return codeEpochMismatch
 	}
 	return ""
 }
@@ -127,6 +138,8 @@ func errStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrUnknownWorker), errors.Is(err, ErrUnknownSweep), errors.Is(err, ErrUnknownShard):
 		return http.StatusNotFound
+	case errors.Is(err, ErrEpochMismatch):
+		return http.StatusConflict
 	default:
 		return http.StatusBadRequest
 	}
@@ -163,12 +176,16 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id, ttl := c.Register(req.WorkerID, req.Addr)
-	writeJSON(w, http.StatusOK, registerResponse{WorkerID: id, LeaseTTLNano: int64(ttl)})
+	writeJSON(w, http.StatusOK, registerResponse{WorkerID: id, LeaseTTLNano: int64(ttl), Epoch: c.Epoch()})
 }
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req leaseRequest
 	if !decode(w, r, &req) {
+		return
+	}
+	if err := c.CheckEpoch(req.Epoch); err != nil {
+		writeErr(w, errStatus(err), err)
 		return
 	}
 	g, err := c.Lease(req.WorkerID)
@@ -188,6 +205,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	if err := c.CheckEpoch(req.Epoch); err != nil {
+		writeErr(w, errStatus(err), err)
+		return
+	}
 	drop, err := c.Heartbeat(req.WorkerID, req.Held)
 	if err != nil {
 		writeErr(w, errStatus(err), err)
@@ -199,6 +220,10 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	var req reportRequest
 	if !decode(w, r, &req) {
+		return
+	}
+	if err := c.CheckEpoch(req.Epoch); err != nil {
+		writeErr(w, errStatus(err), err)
 		return
 	}
 	var frag *core.Figure

@@ -1,0 +1,285 @@
+package cluster
+
+// Coordinator durability: every state transition that matters for
+// recovery — sweep creation, lease grants, completion fragments and
+// failures — is journaled through internal/journal while c.mu is held,
+// so the WAL's record order always matches the order the transitions
+// were applied in. Replay is therefore a pure fold over the records:
+// same WAL, same recovered state (docs/DURABILITY.md).
+//
+// What is deliberately NOT journaled: heartbeats and lease expiries.
+// Leases are void across a restart by construction — the recovered
+// coordinator starts a new epoch and every non-done shard comes back
+// pending — so persisting lease liveness would be dead weight. Grant
+// records are kept anyway because they carry the attempt count, which
+// is the retry budget's memory.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/rng"
+)
+
+// Coordinator WAL record operations.
+const (
+	// copEpoch stamps a coordinator generation: one record per Open.
+	// The live epoch is max(stamped)+0 after stamping — i.e. replay
+	// computes max+1 and OpenCoordinator writes that value back.
+	copEpoch = "epoch"
+	// copSweepCreated opens a sweep's history and carries the resolved
+	// spec; the shard plan is re-derived from it on replay (Cells() is
+	// deterministic), never stored.
+	copSweepCreated = "sweep_created"
+	// copLease narrates a grant. Replay keeps only the attempt count:
+	// the lease itself dies with the epoch.
+	copLease = "lease"
+	// copShardDone closes a shard with its fragment's canonical
+	// WriteJSON bytes, so a recovered merge is byte-identical.
+	copShardDone = "shard_done"
+	// copShardFailed narrates one failed attempt (non-terminal).
+	copShardFailed = "shard_failed"
+	// copSweepFailed closes a sweep that exhausted a shard's budget.
+	copSweepFailed = "sweep_failed"
+)
+
+// coordRecord is the JSON payload of every coordinator journal record.
+type coordRecord struct {
+	Op       string          `json:"op"`
+	Epoch    uint64          `json:"epoch,omitempty"`
+	SweepID  string          `json:"sweep_id,omitempty"`
+	Key      string          `json:"key,omitempty"`
+	Worker   string          `json:"worker,omitempty"`
+	Attempts int             `json:"attempts,omitempty"`
+	Spec     *Spec           `json:"spec,omitempty"`
+	Figure   json.RawMessage `json:"figure,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// journalLocked appends one record to the configured journal. c.mu must
+// be held. A WAL failure degrades durability, never the sweep: it is
+// counted (Status.JournalErrors) and the in-memory coordinator
+// proceeds.
+func (c *Coordinator) journalLocked(rec coordRecord) {
+	if c.cfg.Journal == nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err == nil {
+		err = c.cfg.Journal.Append(context.Background(), b)
+	}
+	if err != nil {
+		c.journalErrors++
+	}
+}
+
+// journalShardDoneLocked journals a completed shard with its fragment's
+// canonical bytes. Encoding the in-memory figure is safe because
+// WriteJSON/ReadFigureJSON round-trip bit-exactly — the same invariant
+// the wire protocol relies on.
+func (c *Coordinator) journalShardDoneLocked(sw *sweep, sh *shard) {
+	if c.cfg.Journal == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := sh.fragment.WriteJSON(&buf); err != nil {
+		c.journalErrors++
+		return
+	}
+	c.journalLocked(coordRecord{
+		Op: copShardDone, SweepID: sw.id, Key: sh.cell.Key(),
+		Figure: json.RawMessage(buf.Bytes()),
+	})
+}
+
+// OpenCoordinator builds a coordinator whose state is durable in dir:
+// it replays the journal already there (rebuilding sweeps with only
+// their unfinished cells pending), opens a writer positioned after it,
+// and stamps a fresh epoch — so workers from the previous generation
+// are told to re-register instead of acting on void leases. Corrupt
+// segments are quarantined by the journal layer and surfaced in the
+// replay stats, never an error.
+func OpenCoordinator(ctx context.Context, cfg Config, dir string) (*Coordinator, journal.ReplayStats, error) {
+	c := NewCoordinator(cfg)
+	st, err := c.replay(ctx, dir)
+	if err != nil {
+		return nil, st, err
+	}
+	w, err := journal.Open(dir, journal.Options{})
+	if err != nil {
+		return nil, st, err
+	}
+	c.mu.Lock()
+	c.cfg.Journal = w
+	c.ownJournal = w
+	c.journalLocked(coordRecord{Op: copEpoch, Epoch: c.epoch})
+	c.mu.Unlock()
+	if err := w.Sync(ctx); err != nil {
+		// The epoch stamp missing from disk only means the next replay
+		// computes the same epoch number again; not fatal.
+		c.mu.Lock()
+		c.journalErrors++
+		c.mu.Unlock()
+	}
+	return c, st, nil
+}
+
+// Close syncs and closes the journal OpenCoordinator created, if any.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	w := c.ownJournal
+	c.ownJournal = nil
+	c.cfg.Journal = nil
+	c.mu.Unlock()
+	if w == nil {
+		return nil
+	}
+	return w.Close()
+}
+
+// Epoch returns the coordinator's generation number. It is 1 for an
+// in-memory coordinator and increments on every durable restart.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// CheckEpoch validates a worker-supplied epoch against the current
+// generation. Epoch 0 means the client predates the handshake and is
+// accepted (the lease protocol was already restart-safe without it;
+// the epoch just makes staleness explicit and prompt).
+func (c *Coordinator) CheckEpoch(e uint64) error {
+	if e == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e != c.epoch {
+		return fmt.Errorf("%w: worker epoch %d, coordinator epoch %d", ErrEpochMismatch, e, c.epoch)
+	}
+	return nil
+}
+
+// replay folds the journal in dir into the empty coordinator. Record
+// kinds unknown to this version are skipped (forward compatibility);
+// records that fail to parse are version skew, not disk damage, and
+// fail loudly.
+func (c *Coordinator) replay(ctx context.Context, dir string) (journal.ReplayStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	var maxEpoch uint64
+	st, err := journal.Replay(ctx, dir, func(payload []byte) error {
+		var rec coordRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("cluster: recover: bad record: %w", err)
+		}
+		switch rec.Op {
+		case copEpoch:
+			if rec.Epoch > maxEpoch {
+				maxEpoch = rec.Epoch
+			}
+		case copSweepCreated:
+			if rec.Spec == nil || rec.SweepID == "" {
+				return fmt.Errorf("cluster: recover: sweep_created record missing spec or id")
+			}
+			c.replaySweepLocked(rec.SweepID, *rec.Spec, now)
+		case copLease:
+			if sh := c.shardLocked(rec.SweepID, rec.Key); sh != nil && sh.state == shardPending {
+				if rec.Attempts > sh.attempts {
+					sh.attempts = rec.Attempts
+				}
+			}
+		case copShardDone:
+			sw := c.sweeps[rec.SweepID]
+			if sw == nil || sw.failed {
+				return nil
+			}
+			sh := sw.byKey[rec.Key]
+			if sh == nil || sh.state == shardDone {
+				return nil // idempotent duplicate
+			}
+			f, err := core.ReadFigureJSON(bytes.NewReader(rec.Figure))
+			if err != nil {
+				return fmt.Errorf("cluster: recover: shard %s fragment: %w", rec.Key, err)
+			}
+			sh.fragment = f
+			sh.state = shardDone
+			sh.worker = ""
+			sw.done++
+			if sw.done == len(sw.shards) {
+				sw.merged = mergeSweep(sw)
+			}
+		case copShardFailed:
+			if sh := c.shardLocked(rec.SweepID, rec.Key); sh != nil && sh.state == shardPending {
+				sh.lastErr = rec.Error
+				if rec.Attempts > sh.attempts {
+					sh.attempts = rec.Attempts
+				}
+			}
+		case copSweepFailed:
+			sw := c.sweeps[rec.SweepID]
+			if sw == nil || sw.terminal() {
+				return nil
+			}
+			sw.failed = true
+			sw.err = rec.Error
+			if sh := sw.byKey[rec.Key]; sh != nil {
+				sh.state = shardFailed
+				sh.worker = ""
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return st, err
+	}
+	c.epoch = maxEpoch + 1
+	return st, nil
+}
+
+// replaySweepLocked rebuilds a sweep from its journaled (already
+// resolved) spec: the same Cells() enumeration CreateSweep ran, so the
+// shard plan — and with it the merge order — is reconstructed exactly.
+// Every shard starts pending with no backoff: pre-crash leases are
+// void, and recovery is not load. c.mu must be held.
+func (c *Coordinator) replaySweepLocked(id string, spec Spec, now time.Time) {
+	if _, ok := c.sweeps[id]; ok {
+		return
+	}
+	sw := &sweep{id: id, spec: spec, created: now, byKey: map[string]*shard{}}
+	for _, cell := range spec.Cells() {
+		sh := &shard{
+			cell:         cell,
+			state:        shardPending,
+			pendingSince: now,
+			jitter:       rng.New(CellSeed(spec.Seed, cell.Key())),
+		}
+		sw.shards = append(sw.shards, sh)
+		sw.byKey[cell.Key()] = sh
+	}
+	c.sweeps[id] = sw
+	c.sweepIDs = append(c.sweepIDs, id)
+	// Keep the id sequence above every replayed id so post-recovery
+	// sweeps cannot collide.
+	var n int
+	if _, err := fmt.Sscanf(id, "s%d", &n); err == nil && n > c.sweepSeq {
+		c.sweepSeq = n
+	}
+}
+
+// shardLocked resolves a (sweep, key) pair, nil when either side is
+// unknown. c.mu must be held.
+func (c *Coordinator) shardLocked(sweepID, key string) *shard {
+	sw := c.sweeps[sweepID]
+	if sw == nil {
+		return nil
+	}
+	return sw.byKey[key]
+}

@@ -74,11 +74,12 @@ func (c WorkerConfig) withDefaults() (WorkerConfig, error) {
 type Worker struct {
 	cfg WorkerConfig
 
-	mu   sync.Mutex
-	id   string
-	ttl  time.Duration
-	held []ShardRef // in-flight leases (at most one today)
-	seq  int        // request-id counter
+	mu    sync.Mutex
+	id    string
+	ttl   time.Duration
+	epoch uint64     // coordinator generation from the last register
+	held  []ShardRef // in-flight leases (at most one today)
+	seq   int        // request-id counter
 
 	// counters, read via Stats.
 	shardsDone   uint64
@@ -135,8 +136,9 @@ func (w *Worker) Run(ctx context.Context) error {
 		}
 		grant, err := w.lease(ctx)
 		if err != nil {
-			if errors.Is(err, ErrUnknownWorker) {
-				// Coordinator forgot us (restart or TTL expiry); re-register.
+			if errors.Is(err, ErrUnknownWorker) || errors.Is(err, ErrEpochMismatch) {
+				// Coordinator forgot us (restart, TTL expiry) or moved to
+				// a new epoch; re-register and pick up the new generation.
 				if err := w.register(ctx); err != nil {
 					return err
 				}
@@ -174,6 +176,7 @@ func (w *Worker) register(ctx context.Context) error {
 			w.mu.Lock()
 			w.id = resp.WorkerID
 			w.ttl = leaseTTLFrom(resp)
+			w.epoch = resp.Epoch
 			w.mu.Unlock()
 			w.logf("registered as %s (lease ttl %v)", resp.WorkerID, leaseTTLFrom(resp))
 			return nil
@@ -190,10 +193,10 @@ func (w *Worker) register(ctx context.Context) error {
 
 func (w *Worker) lease(ctx context.Context) (*Grant, error) {
 	w.mu.Lock()
-	id := w.id
+	id, epoch := w.id, w.epoch
 	w.mu.Unlock()
 	var resp leaseResponse
-	if err := w.post(ctx, "/cluster/lease", leaseRequest{WorkerID: id}, &resp); err != nil {
+	if err := w.post(ctx, "/cluster/lease", leaseRequest{WorkerID: id, Epoch: epoch}, &resp); err != nil {
 		return nil, err
 	}
 	if resp.None || resp.Grant == nil {
@@ -227,9 +230,21 @@ func (w *Worker) runShard(ctx context.Context, g *Grant) {
 		w.bump(&w.shardsDone)
 	}
 	w.mu.Lock()
-	rep.WorkerID = w.id
+	rep.WorkerID, rep.Epoch = w.id, w.epoch
 	w.mu.Unlock()
-	if err := w.post(ctx, "/cluster/report", rep, &struct{}{}); err != nil {
+	err = w.post(ctx, "/cluster/report", rep, &struct{}{})
+	if errors.Is(err, ErrEpochMismatch) {
+		// The coordinator restarted under us. The fragment is still
+		// bit-identical and reports are idempotent, so re-register into
+		// the new epoch and hand it over rather than wasting the work.
+		if rerr := w.register(ctx); rerr == nil {
+			w.mu.Lock()
+			rep.WorkerID, rep.Epoch = w.id, w.epoch
+			w.mu.Unlock()
+			err = w.post(ctx, "/cluster/report", rep, &struct{}{})
+		}
+	}
+	if err != nil {
 		w.bump(&w.leasesLost)
 		w.logf("report %s: %v", g.Key, err)
 	}
@@ -297,7 +312,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			return
 		}
 		w.mu.Lock()
-		req := heartbeatRequest{WorkerID: w.id, Held: append([]ShardRef(nil), w.held...)}
+		req := heartbeatRequest{WorkerID: w.id, Epoch: w.epoch, Held: append([]ShardRef(nil), w.held...)}
 		w.mu.Unlock()
 		var resp heartbeatResponse
 		if err := w.post(ctx, "/cluster/heartbeat", req, &resp); err != nil {

@@ -83,11 +83,29 @@ const (
 	// estimator state, so a faulted batch is rejected whole and a
 	// client retry cannot double-count events.
 	SiteAdviseIngest = "advise.ingest"
+	// SiteJournalAppend fires in the write-ahead log's append path
+	// (internal/journal), before the record is framed and written, so
+	// crash drills can prove the pipeline degrades to lower durability
+	// — never to a crash — when the log cannot accept a record.
+	SiteJournalAppend = "journal.append"
+	// SiteJournalSync fires in the write-ahead log's explicit fsync
+	// path (internal/journal.Writer.Sync).
+	SiteJournalSync = "journal.sync"
+	// SiteJournalReplay fires once per segment during recovery replay
+	// (internal/journal.Replay), so restart drills can exercise a
+	// recovery that itself fails partway.
+	SiteJournalReplay = "journal.replay"
+	// SiteStoreWrite fires in the on-disk result store's write path
+	// (internal/simcache.Store), before the temp file is created, so
+	// chaos drills can prove persistence failures only cost durability,
+	// never correctness.
+	SiteStoreWrite = "store.write"
 )
 
 // Sites lists every known injection site, sorted.
 func Sites() []string {
-	s := []string{SiteJobWorker, SiteCacheFill, SiteRepetition, SiteHandler, SiteDecode, SiteClusterShard, SiteAdviseIngest}
+	s := []string{SiteJobWorker, SiteCacheFill, SiteRepetition, SiteHandler, SiteDecode, SiteClusterShard, SiteAdviseIngest,
+		SiteJournalAppend, SiteJournalSync, SiteJournalReplay, SiteStoreWrite}
 	sort.Strings(s)
 	return s
 }

@@ -19,9 +19,11 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -101,6 +103,15 @@ type Stats struct {
 	// Retries counts extra attempts spent re-running retryable
 	// failures.
 	Retries uint64 `json:"retries"`
+	// Abandoned counts queued-but-unstarted jobs given up on when a
+	// drain deadline expired; each is logged with its request id, and
+	// with a journal configured each is recoverable at restart.
+	Abandoned uint64 `json:"abandoned"`
+	// Recovered counts jobs re-enqueued from the journal at startup.
+	Recovered uint64 `json:"recovered"`
+	// WALErrors counts journal appends that failed (durability
+	// degraded; the in-memory queue proceeded).
+	WALErrors uint64 `json:"wal_errors"`
 }
 
 // Config sizes the queue.
@@ -116,6 +127,13 @@ type Config struct {
 	// Retain bounds the number of finished jobs kept for polling;
 	// <= 0 selects 512. The oldest finished jobs are forgotten first.
 	Retain int
+	// Journal, when non-nil, receives a durable record for every job
+	// state transition (see wal.go). A restarted daemon replays it with
+	// Recover to re-enqueue incomplete jobs under their original ids.
+	Journal Appender
+	// Log receives operational messages (abandoned jobs, journal append
+	// failures); nil silences them.
+	Log *log.Logger
 }
 
 // Sentinel submission errors.
@@ -174,6 +192,9 @@ type Spec struct {
 	// shard attempt) that submitted it; surfaced in Snapshot so
 	// cross-node lease traffic can be traced end to end.
 	RequestID string
+	// Tenant attributes the job to a tenant for quota accounting and
+	// result-store ownership; journaled and restored on recovery.
+	Tenant string
 	// Retries is how many times a retryable failure is re-run after
 	// the first attempt; 0 disables retry.
 	Retries int
@@ -182,6 +203,12 @@ type Spec struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the exponential backoff (default 2s).
 	MaxBackoff time.Duration
+	// Payload is the replayable request behind the job's Func, stored
+	// verbatim in the journal's accepted record. Funcs are closures and
+	// cannot be persisted; recovery rebuilds them from Kind + Payload.
+	// Jobs submitted without a payload run normally but cannot be
+	// recovered after a crash.
+	Payload json.RawMessage
 }
 
 // Backoff returns the jittered exponential backoff before retry
@@ -228,19 +255,20 @@ func jitterStream(id string) *rng.Source {
 
 // job is the internal mutable record behind a Snapshot.
 type job struct {
-	id       string
-	spec     Spec
-	fn       Func
-	state    State
-	created  time.Time
-	started  time.Time
-	finished time.Time
-	err      string
-	stack    string
-	attempts int
-	result   any
-	cancel   context.CancelFunc // set while running
-	done     chan struct{}      // closed on terminal transition
+	id        string
+	spec      Spec
+	fn        Func
+	state     State
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	err       string
+	stack     string
+	attempts  int
+	result    any
+	cancel    context.CancelFunc // set while running
+	abandoned bool               // counted by a failed drain already
+	done      chan struct{}      // closed on terminal transition
 }
 
 // Queue runs submitted jobs on a worker pool. Construct with New.
@@ -263,6 +291,9 @@ type Queue struct {
 	canceled  uint64
 	panics    uint64
 	retries   uint64
+	abandoned uint64
+	recovered uint64
+	walErrors uint64
 }
 
 // New builds the queue and starts its workers.
@@ -299,8 +330,14 @@ func (q *Queue) Submit(kind string, fn Func) (string, error) {
 // policy). It never blocks: a full queue returns ErrQueueFull, a
 // draining queue ErrDraining.
 func (q *Queue) SubmitSpec(spec Spec, fn Func) (string, error) {
+	return q.submit(q.newID(), spec, fn, false)
+}
+
+// submit is the shared enqueue path behind SubmitSpec and
+// SubmitRecovered.
+func (q *Queue) submit(id string, spec Spec, fn Func, recovered bool) (string, error) {
 	j := &job{
-		id:      q.newID(),
+		id:      id,
 		spec:    spec,
 		fn:      fn,
 		state:   Queued,
@@ -317,6 +354,18 @@ func (q *Queue) SubmitSpec(spec Spec, fn Func) (string, error) {
 	case q.work <- j:
 		q.jobs[j.id] = j
 		q.submitted++
+		if recovered {
+			q.recovered++
+		}
+		q.journalLocked(walRecord{
+			Op:        opAccepted,
+			ID:        j.id,
+			Kind:      spec.Kind,
+			RequestID: spec.RequestID,
+			Tenant:    spec.Tenant,
+			Retries:   spec.Retries,
+			Payload:   spec.Payload,
+		})
 		q.mu.Unlock()
 		return j.id, nil
 	default:
@@ -437,12 +486,20 @@ func (q *Queue) Stats() Stats {
 		Canceled:        q.canceled,
 		PanicsRecovered: q.panics,
 		Retries:         q.retries,
+		Abandoned:       q.abandoned,
+		Recovered:       q.recovered,
+		WALErrors:       q.walErrors,
 	}
 }
 
 // Drain stops accepting submissions, lets queued and running jobs
 // finish, and returns when the pool is idle or ctx expires (the
-// workers keep finishing in the background in that case).
+// workers keep finishing in the background in that case). When the
+// deadline expires with jobs still queued, those jobs are abandoned in
+// practice — the caller is about to exit — so each is logged with its
+// id, kind and request id and counted in Stats.Abandoned rather than
+// vanishing silently. With a journal configured they carry no terminal
+// record, so a restart recovers them.
 func (q *Queue) Drain(ctx context.Context) error {
 	q.mu.Lock()
 	already := q.draining
@@ -460,7 +517,24 @@ func (q *Queue) Drain(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		q.noteAbandoned()
 		return ctx.Err()
+	}
+}
+
+// noteAbandoned logs and counts every job still queued when a drain
+// deadline expired.
+func (q *Queue) noteAbandoned() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for _, j := range q.jobs {
+		if j.state != Queued || j.abandoned {
+			continue
+		}
+		j.abandoned = true
+		q.abandoned++
+		q.logf("jobs: abandoning queued job id=%s kind=%s request_id=%s (drain deadline expired)",
+			j.id, j.spec.Kind, j.spec.RequestID)
 	}
 }
 
@@ -495,6 +569,7 @@ func (q *Queue) run(j *job) {
 	j.started = time.Now()
 	j.cancel = cancel
 	q.running++
+	q.journalLocked(walRecord{Op: opStarted, ID: j.id})
 	q.mu.Unlock()
 
 	var (
@@ -511,6 +586,7 @@ func (q *Queue) run(j *job) {
 		}
 		q.mu.Lock()
 		q.retries++
+		q.journalLocked(walRecord{Op: opRetried, ID: j.id})
 		q.mu.Unlock()
 		if jitter == nil {
 			jitter = jitterStream(j.id)
@@ -602,6 +678,7 @@ func (q *Queue) finishLocked(j *job, s State, err error) {
 	case Canceled:
 		q.canceled++
 	}
+	q.journalLocked(walRecord{Op: terminalOp(s), ID: j.id})
 	q.finished = append(q.finished, j.id)
 	for len(q.finished) > q.cfg.Retain {
 		delete(q.jobs, q.finished[0])

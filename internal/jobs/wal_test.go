@@ -1,0 +1,225 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"log"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+)
+
+// openJournal builds a real WAL writer in a temp dir.
+func openJournal(t *testing.T, dir string) *journal.Writer {
+	t.Helper()
+	w, err := journal.Open(dir, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestJournalRecoverPendingJobs(t *testing.T) {
+	dir := t.TempDir()
+	w := openJournal(t, dir)
+	q := New(Config{Workers: 1, Journal: w})
+
+	// One job completes; one is accepted but never run (its Func blocks
+	// until we let go, so the accepted record lands without a terminal).
+	id1, err := q.SubmitSpec(Spec{Kind: "fast", Payload: json.RawMessage(`{"n":1}`)},
+		func(ctx context.Context) (any, error) { return "done", nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := q.Wait(context.Background(), id1); !ok || err != nil {
+		t.Fatalf("wait: ok=%v err=%v", ok, err)
+	}
+
+	block := make(chan struct{})
+	var once sync.Once
+	defer once.Do(func() { close(block) })
+	id2, err := q.SubmitSpec(Spec{
+		Kind:      "slow",
+		RequestID: "req-abc",
+		Retries:   2,
+		Payload:   json.RawMessage(`{"n":2}`),
+	}, func(ctx context.Context) (any, error) { <-block; return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the worker time to journal the started record; the job then
+	// blocks forever — the shape of a crash mid-run.
+	time.Sleep(50 * time.Millisecond)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	pending, st, err := Recover(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Quarantined != 0 {
+		t.Fatalf("clean journal quarantined segments: %+v", st)
+	}
+	if len(pending) != 1 {
+		t.Fatalf("pending jobs: %d, want 1 (%+v)", len(pending), pending)
+	}
+	p := pending[0]
+	if p.ID != id2 || p.Spec.Kind != "slow" || p.Spec.RequestID != "req-abc" || p.Spec.Retries != 2 {
+		t.Fatalf("recovered job mismatch: %+v", p)
+	}
+	if string(p.Spec.Payload) != `{"n":2}` {
+		t.Fatalf("payload not preserved: %q", p.Spec.Payload)
+	}
+}
+
+func TestSubmitRecoveredPreservesID(t *testing.T) {
+	dir := t.TempDir()
+	w := openJournal(t, dir)
+	q := New(Config{Workers: 1, Journal: w})
+	p := PendingJob{ID: "j000042-deadbeef", Spec: Spec{Kind: "sweep", RequestID: "r-1"}}
+	id, err := q.SubmitRecovered(p, func(ctx context.Context) (any, error) { return 7, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != p.ID {
+		t.Fatalf("recovered submit changed the id: %s", id)
+	}
+	snap, ok, err := q.Wait(context.Background(), id)
+	if !ok || err != nil || snap.State != Succeeded {
+		t.Fatalf("recovered job did not run: ok=%v err=%v snap=%+v", ok, err, snap)
+	}
+	if q.Stats().Recovered != 1 {
+		t.Fatalf("recovered counter: %+v", q.Stats())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The extended log replays to an empty pending set: acceptance was
+	// re-journaled and the terminal record closes it.
+	pending, _, err := Recover(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("completed recovered job still pending: %+v", pending)
+	}
+}
+
+// TestRecoverTwiceSameState: same WAL bytes, same recovered state.
+func TestRecoverTwiceSameState(t *testing.T) {
+	dir := t.TempDir()
+	w := openJournal(t, dir)
+	q := New(Config{Workers: 1, Journal: w})
+	block := make(chan struct{})
+	defer close(block)
+	for i := 0; i < 3; i++ {
+		if _, err := q.SubmitSpec(Spec{Kind: "k", Payload: json.RawMessage(`{}`)},
+			func(ctx context.Context) (any, error) { <-block; return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := Recover(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Recover(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("pending: %d and %d, want 3 and 3", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("replay order diverged at %d: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+	}
+}
+
+// failingAppender fails every append, standing in for a full disk.
+type failingAppender struct{}
+
+func (failingAppender) Append(context.Context, []byte) error {
+	return errors.New("disk full")
+}
+
+// TestJournalFailureDegradesNotFails: WAL trouble must never fail the
+// job itself, only count and log.
+func TestJournalFailureDegradesNotFails(t *testing.T) {
+	var buf strings.Builder
+	q := New(Config{
+		Workers: 1,
+		Journal: failingAppender{},
+		Log:     log.New(&buf, "", 0),
+	})
+	id, err := q.Submit("k", func(ctx context.Context) (any, error) { return "ok", nil })
+	if err != nil {
+		t.Fatalf("submit failed on journal error: %v", err)
+	}
+	snap, ok, err := q.Wait(context.Background(), id)
+	if !ok || err != nil || snap.State != Succeeded {
+		t.Fatalf("job failed on journal error: %+v", snap)
+	}
+	if st := q.Stats(); st.WALErrors == 0 {
+		t.Fatalf("wal errors not counted: %+v", st)
+	}
+	if !strings.Contains(buf.String(), "journal append failed") {
+		t.Fatalf("journal failure not logged: %q", buf.String())
+	}
+}
+
+// TestDrainAbandonmentLogged is the satellite: a drain that times out
+// with queued-unstarted jobs must log each with its request id and
+// count them, not discard them silently.
+func TestDrainAbandonmentLogged(t *testing.T) {
+	var mu sync.Mutex
+	var buf strings.Builder
+	safe := log.New(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	}), "", 0)
+
+	q := New(Config{Workers: 1, Capacity: 8, Log: safe})
+	block := make(chan struct{})
+	defer close(block)
+	// First job occupies the lone worker; the rest stay queued.
+	if _, err := q.Submit("busy", func(ctx context.Context) (any, error) { <-block; return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	for i := 0; i < 2; i++ {
+		if _, err := q.SubmitSpec(Spec{Kind: "queued", RequestID: "req-q"},
+			func(ctx context.Context) (any, error) { return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := q.Drain(ctx); err == nil {
+		t.Fatal("drain finished although a job blocks forever")
+	}
+	if st := q.Stats(); st.Abandoned != 2 {
+		t.Fatalf("abandoned: %d, want 2 (%+v)", st.Abandoned, st)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "abandoning queued job") || !strings.Contains(out, "request_id=req-q") {
+		t.Fatalf("abandonment log missing request ids: %q", out)
+	}
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

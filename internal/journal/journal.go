@@ -1,0 +1,306 @@
+// Package journal is the service tier's write-ahead log: an
+// append-only sequence of CRC-framed records spread across rotating
+// segment files, with batched fsync and a deterministic, corruption-
+// tolerant replay. The jobs queue journals job lifecycles through it so
+// a killed daemon re-enqueues unfinished work, and the cluster
+// coordinator journals sweep plans, lease grants and completion reports
+// so a restart re-offers only unfinished cells (docs/DURABILITY.md).
+//
+// On-disk layout: dir/wal-00000001.seg, wal-00000002.seg, ... Each
+// record is framed as
+//
+//	[4 bytes little-endian payload length]
+//	[4 bytes little-endian IEEE CRC32 of the payload]
+//	[payload]
+//
+// A writer appends to the highest-numbered segment, rotating to a new
+// file once SegmentBytes is exceeded. fsync is batched: the file is
+// synced after every SyncEvery appends (and on Sync/Close/rotation), so
+// a machine crash loses at most the unsynced tail while a process kill
+// (SIGKILL) loses nothing the write(2) calls completed — the page cache
+// survives the process.
+//
+// Replay reads segments in order and is tolerant by construction: a
+// torn record at the tail of the final segment is the expected shape of
+// a crash mid-append and ends replay cleanly; a CRC mismatch anywhere
+// else is corruption, and the offending segment is quarantined (renamed
+// to *.corrupt) and skipped rather than crashing recovery. Both
+// outcomes are counted so /metrics can surface them.
+//
+// The package itself never reads a clock or draws randomness: replayed
+// state is a pure function of the bytes on disk, which is what makes
+// "same WAL, same recovered state" testable.
+package journal
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// segPrefix and segSuffix frame segment file names: wal-%08d.seg.
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+// headerBytes is the fixed per-record framing overhead.
+const headerBytes = 8
+
+// MaxRecordBytes bounds one record's payload (16 MiB). A length field
+// beyond it during replay is treated as corruption, not an allocation
+// request — a flipped bit in the length must not ask for gigabytes.
+const MaxRecordBytes = 16 << 20
+
+// Options tunes a Writer.
+type Options struct {
+	// SegmentBytes rotates to a new segment file once the current one
+	// exceeds this size; <= 0 selects 4 MiB.
+	SegmentBytes int64
+	// SyncEvery batches fsync: the segment is synced once this many
+	// appends accumulate (and always on Sync, Close and rotation).
+	// <= 0 selects 64; 1 syncs every append.
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 64
+	}
+	return o
+}
+
+// Stats counts a writer's activity since Open.
+type Stats struct {
+	// Segments is the number of live segment files in the directory.
+	Segments int `json:"segments"`
+	// SegmentBytes is the size of the segment currently appended to.
+	SegmentBytes int64 `json:"segment_bytes"`
+	// Appends counts records appended.
+	Appends uint64 `json:"appends"`
+	// Syncs counts fsync calls issued.
+	Syncs uint64 `json:"syncs"`
+	// Rotations counts segment rollovers.
+	Rotations uint64 `json:"rotations"`
+	// AppendErrors counts appends that failed (disk error or injected
+	// fault); the caller degraded to lower durability, not to a crash.
+	AppendErrors uint64 `json:"append_errors"`
+}
+
+// Writer appends records to the log. Construct with Open; methods are
+// safe for concurrent use.
+type Writer struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	segIndex int
+	segSize  int64
+	segCount int
+	pending  int // appends since last sync
+
+	appends   uint64
+	syncs     uint64
+	rotations uint64
+	appendErr uint64
+}
+
+// Open creates dir if needed and opens a writer positioned after the
+// existing log: appends go to a fresh segment numbered above every
+// segment already present, so recovery never has to distinguish old
+// bytes from new ones inside a file.
+func Open(dir string, opts Options) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", dir, err)
+	}
+	segs, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if n := len(segs); n > 0 {
+		next = segs[n-1].index + 1
+	}
+	w := &Writer{dir: dir, opts: opts.withDefaults(), segIndex: next - 1, segCount: len(segs)}
+	if err := w.rotateLocked(); err != nil {
+		return nil, err
+	}
+	// The first segment is not a rotation, it is the opening position.
+	w.rotations = 0
+	return w, nil
+}
+
+// segment is one discovered log file.
+type segment struct {
+	index int
+	name  string
+}
+
+// segments lists the live segment files in dir, sorted by index.
+// Quarantined (*.corrupt) files are ignored.
+func segments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: read %s: %w", dir, err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		var idx int
+		if _, err := fmt.Sscanf(name, segPrefix+"%08d"+segSuffix, &idx); err != nil {
+			continue
+		}
+		if name != segName(idx) {
+			continue
+		}
+		segs = append(segs, segment{index: idx, name: name})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].index < segs[j].index })
+	return segs, nil
+}
+
+func segName(index int) string {
+	return fmt.Sprintf("%s%08d%s", segPrefix, index, segSuffix)
+}
+
+// rotateLocked syncs and closes the current segment and opens the next
+// one. w.mu must be held.
+func (w *Writer) rotateLocked() error {
+	if w.f != nil {
+		if err := w.syncLocked(); err != nil {
+			return err
+		}
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("journal: close segment: %w", err)
+		}
+		w.rotations++
+	}
+	w.segIndex++
+	path := filepath.Join(w.dir, segName(w.segIndex))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: create segment: %w", err)
+	}
+	w.f = f
+	w.segSize = 0
+	w.segCount++
+	return nil
+}
+
+// Append frames payload with its length and CRC and writes it to the
+// current segment, rotating first when the segment is full and syncing
+// when the batch threshold is reached. ctx feeds the journal.append
+// fault site; the write itself is not cancellable — a record is either
+// fully appended or not appended at all (a torn write is healed by
+// replay's tail handling).
+func (w *Writer) Append(ctx context.Context, payload []byte) error {
+	if len(payload) > MaxRecordBytes {
+		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecordBytes", len(payload))
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("journal: writer closed")
+	}
+	if err := faultinject.Fire(ctx, faultinject.SiteJournalAppend); err != nil {
+		w.appendErr++
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if w.segSize >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.appendErr++
+			return err
+		}
+	}
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	rec := make([]byte, 0, headerBytes+len(payload))
+	rec = append(rec, hdr[:]...)
+	rec = append(rec, payload...)
+	if _, err := w.f.Write(rec); err != nil {
+		w.appendErr++
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	w.segSize += int64(len(rec))
+	w.appends++
+	w.pending++
+	if w.pending >= w.opts.SyncEvery {
+		if err := w.syncLocked(); err != nil {
+			w.appendErr++
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes the current segment to stable storage, ending the
+// current fsync batch. ctx feeds the journal.sync fault site.
+func (w *Writer) Sync(ctx context.Context) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	if err := faultinject.Fire(ctx, faultinject.SiteJournalSync); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	return w.syncLocked()
+}
+
+// syncLocked fsyncs when a batch is pending. w.mu must be held.
+func (w *Writer) syncLocked() error {
+	if w.pending == 0 {
+		return nil
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	w.pending = 0
+	w.syncs++
+	return nil
+}
+
+// Close syncs and closes the current segment; the writer cannot append
+// afterwards.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.syncLocked()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	w.f = nil
+	return err
+}
+
+// Dir returns the directory the writer appends into.
+func (w *Writer) Dir() string { return w.dir }
+
+// Stats snapshots the writer's counters.
+func (w *Writer) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return Stats{
+		Segments:     w.segCount,
+		SegmentBytes: w.segSize,
+		Appends:      w.appends,
+		Syncs:        w.syncs,
+		Rotations:    w.rotations,
+		AppendErrors: w.appendErr,
+	}
+}

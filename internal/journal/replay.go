@@ -1,0 +1,136 @@
+package journal
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+
+	"repro/internal/faultinject"
+)
+
+// ReplayStats reports what a replay pass observed.
+type ReplayStats struct {
+	// Records is the number of valid records delivered to the callback.
+	Records int `json:"records"`
+	// Segments is the number of segment files read.
+	Segments int `json:"segments"`
+	// Quarantined counts segments renamed to *.corrupt because a record
+	// failed its CRC (or had an impossible length) somewhere other than
+	// the log's torn tail.
+	Quarantined int `json:"quarantined"`
+	// TornTail reports that the final segment ended mid-record — the
+	// expected shape of a crash during an append; the partial record is
+	// discarded and replay ends cleanly.
+	TornTail bool `json:"torn_tail,omitempty"`
+}
+
+// Replay reads every live segment in dir in order and calls fn for each
+// valid record. A torn record at the very tail of the final segment
+// ends replay cleanly (that is what a crash mid-append leaves behind);
+// a bad record anywhere else quarantines its segment — renamed to
+// <segment>.corrupt, skipping the segment's remaining bytes — and
+// replay continues with the next segment. Replay never invents order:
+// records are delivered exactly as appended, so the same directory
+// bytes always rebuild the same state.
+//
+// fn returning an error aborts replay with that error; corruption never
+// does. ctx feeds the journal.replay fault site, fired once per
+// segment.
+func Replay(ctx context.Context, dir string, fn func(payload []byte) error) (ReplayStats, error) {
+	var st ReplayStats
+	segs, err := segments(dir)
+	if err != nil {
+		// A missing directory is an empty log, not an error.
+		if errors.Is(err, fs.ErrNotExist) {
+			return st, nil
+		}
+		return st, err
+	}
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		if err := faultinject.Fire(ctx, faultinject.SiteJournalReplay); err != nil {
+			return st, fmt.Errorf("journal: replay %s: %w", seg.name, err)
+		}
+		tail, err := replaySegment(filepath.Join(dir, seg.name), last, &st, fn)
+		if err != nil {
+			return st, err
+		}
+		st.Segments++
+		if tail {
+			st.TornTail = true
+		}
+	}
+	return st, nil
+}
+
+// replaySegment reads one segment. tornTail reports a partial record at
+// the segment's end when it is the final segment; on any other framing
+// damage the segment is quarantined.
+func replaySegment(path string, last bool, st *ReplayStats, fn func([]byte) error) (tornTail bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("journal: replay: %w", err)
+	}
+	defer f.Close()
+	var hdr [headerBytes]byte
+	for {
+		_, err := io.ReadFull(f, hdr[:])
+		if errors.Is(err, io.EOF) {
+			return false, nil // clean segment boundary
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return partialTail(path, last, st)
+		}
+		if err != nil {
+			return false, fmt.Errorf("journal: replay %s: %w", path, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > MaxRecordBytes {
+			// An impossible length is corruption wherever it appears: it
+			// cannot be a torn append, because the header is written in
+			// the same write(2) call as the payload and lengths are
+			// validated before framing.
+			return false, quarantine(path, st)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return partialTail(path, last, st)
+			}
+			return false, fmt.Errorf("journal: replay %s: %w", path, err)
+		}
+		if crc32.ChecksumIEEE(payload) != want {
+			return false, quarantine(path, st)
+		}
+		st.Records++
+		if err := fn(payload); err != nil {
+			return false, err
+		}
+	}
+}
+
+// partialTail handles a record cut short by EOF: expected at the final
+// segment's tail, corruption anywhere else.
+func partialTail(path string, last bool, st *ReplayStats) (bool, error) {
+	if last {
+		return true, nil
+	}
+	return false, quarantine(path, st)
+}
+
+// quarantine renames a damaged segment to <path>.corrupt so it is
+// excluded from every later replay, and counts it. The rename is
+// best-effort: a read-only filesystem still recovers, it just re-skips
+// the bytes next time.
+func quarantine(path string, st *ReplayStats) error {
+	st.Quarantined++
+	_ = os.Rename(path, path+".corrupt")
+	return nil
+}

@@ -45,6 +45,8 @@ var Packages = map[string]bool{
 	"repro/internal/campaign": true,
 	"repro/internal/cluster":  true,
 	"repro/internal/advise":   true,
+	"repro/internal/journal":  true,
+	"repro/internal/tenant":   true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {

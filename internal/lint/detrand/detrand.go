@@ -47,6 +47,7 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/core":        true,
 	"repro/internal/mca":         true,
 	"repro/internal/advise":      true,
+	"repro/internal/journal":     true,
 }
 
 // allowedRandConstructors are math/rand(/v2) functions that take an

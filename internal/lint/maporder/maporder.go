@@ -50,6 +50,8 @@ var Packages = map[string]bool{
 	"repro/internal/systems":     true,
 	"repro/internal/cluster":     true,
 	"repro/internal/advise":      true,
+	"repro/internal/journal":     true,
+	"repro/internal/tenant":      true,
 }
 
 // emitMethods are method names whose call inside a map-range body means

@@ -7,7 +7,9 @@ import (
 	"repro/internal/advise"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
+	"repro/internal/journal"
 	"repro/internal/simcache"
+	"repro/internal/tenant"
 )
 
 // histBoundsMs are the upper bounds (milliseconds) of the latency
@@ -98,9 +100,10 @@ type Metrics struct {
 	statuses map[string]uint64 // by status class ("2xx", ...)
 	stages   map[string]*hist
 
-	shedRequests  uint64
-	handlerPanics uint64
-	cacheBypasses uint64
+	shedRequests     uint64
+	handlerPanics    uint64
+	cacheBypasses    uint64
+	tenantRejections uint64
 }
 
 // NewMetrics returns an empty metrics registry.
@@ -147,6 +150,14 @@ func (m *Metrics) CacheBypass() {
 	m.mu.Unlock()
 }
 
+// TenantReject counts one submission refused by per-tenant limits
+// (rate or job quota; answered 429 with Retry-After).
+func (m *Metrics) TenantReject() {
+	m.mu.Lock()
+	m.tenantRejections++
+	m.mu.Unlock()
+}
+
 // Request records one served HTTP request.
 func (m *Metrics) Request(route string, status int, d time.Duration) {
 	class := "2xx"
@@ -190,14 +201,33 @@ type Snapshot struct {
 	// Advisor reports the mitigation advisor's ingest/estimator/cache
 	// gauges, when mounted (docs/ADVISOR.md).
 	Advisor *advise.Stats `json:"advisor,omitempty"`
+	// TenantRejections counts submissions refused by per-tenant limits.
+	TenantRejections uint64 `json:"tenant_rejections"`
+	// Store reports the durable result store, when configured
+	// (docs/DURABILITY.md): entry/byte gauges, hit/miss/quarantine
+	// counters and per-tenant usage.
+	Store *simcache.StoreStats `json:"store,omitempty"`
+	// Tenants reports per-tenant admission and quota counters, sorted
+	// by tenant name.
+	Tenants []tenant.Stats `json:"tenants,omitempty"`
+	// Journal reports the job WAL writer, when configured.
+	Journal *journal.Stats `json:"journal,omitempty"`
 	// Faults reports fault-injection counters while a plan is armed.
 	Faults *faultinject.Stats `json:"faults,omitempty"`
+}
+
+// Extras carries the durable-tier gauges read live at snapshot time;
+// any field may be nil.
+type Extras struct {
+	Store   *simcache.Store
+	Tenants *tenant.Registry
+	Journal *journal.Writer
 }
 
 // Snapshot captures all counters plus live queue, cache, breaker and
 // advisor gauges. q, c, b and adv may be nil (their sections stay zero
 // or absent).
-func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache, b *Breaker, adv *advise.Service) Snapshot {
+func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache, b *Breaker, adv *advise.Service, x Extras) Snapshot {
 	s := Snapshot{
 		UptimeSeconds: time.Since(m.start).Seconds(),
 		Requests:      map[string]uint64{},
@@ -217,6 +247,7 @@ func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache, b *Breaker, adv *ad
 	s.ShedRequests = m.shedRequests
 	s.HandlerPanics = m.handlerPanics
 	s.CacheBypasses = m.cacheBypasses
+	s.TenantRejections = m.tenantRejections
 	m.mu.Unlock()
 	if q != nil {
 		s.Jobs = q.Stats()
@@ -231,6 +262,17 @@ func (m *Metrics) Snapshot(q *jobs.Queue, c *simcache.Cache, b *Breaker, adv *ad
 	if adv != nil {
 		as := adv.Stats()
 		s.Advisor = &as
+	}
+	if x.Store != nil {
+		ss := x.Store.Stats()
+		s.Store = &ss
+	}
+	if x.Tenants != nil {
+		s.Tenants = x.Tenants.StatsAll()
+	}
+	if x.Journal != nil {
+		js := x.Journal.Stats()
+		s.Journal = &js
 	}
 	if faultinject.Armed() {
 		fs := faultinject.Snapshot()

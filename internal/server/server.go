@@ -34,9 +34,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/jobs"
+	"repro/internal/journal"
 	"repro/internal/noise"
 	"repro/internal/simcache"
 	"repro/internal/systems"
+	"repro/internal/tenant"
 	"repro/internal/tracegen"
 )
 
@@ -82,6 +84,22 @@ type Config struct {
 	// recovery, request-id stamping and the server.handler fault site.
 	// Keys are Go 1.22 ServeMux patterns ("POST /cluster/lease").
 	Routes map[string]http.HandlerFunc
+	// ResultStore, when non-nil, persists sweep results durably
+	// (content-addressed by request payload; see docs/DURABILITY.md).
+	// Sweep jobs consult it before computing and re-serve stored bytes
+	// verbatim, so restarts answer repeated requests bit-identically
+	// without recomputation. Simulate results carry wall-clock timing
+	// fields and are never persisted.
+	ResultStore *simcache.Store
+	// Tenants, when non-nil, applies per-tenant admission (token-bucket
+	// rate + in-flight job cap, answered with 429 and Retry-After) and
+	// the result-store disk quota. Tenants are named by the X-Tenant
+	// header; the empty name is the shared default tenant.
+	Tenants *tenant.Registry
+	// Journal, when non-nil, is the queue's WAL writer, exposed here
+	// only so /metrics can report its stats; the queue itself holds the
+	// append hook (jobs.Config.Journal).
+	Journal *journal.Writer
 	// Log receives operational lines (failed requests with their
 	// request ids); nil discards them.
 	Log *log.Logger
@@ -282,12 +300,13 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"uptime_s": s.metrics.Snapshot(nil, nil, nil, nil).UptimeSeconds,
+		"uptime_s": s.metrics.Snapshot(nil, nil, nil, nil, Extras{}).UptimeSeconds,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cfg.Queue, s.cfg.Cache, s.breaker, s.cfg.Advisor))
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(s.cfg.Queue, s.cfg.Cache, s.breaker, s.cfg.Advisor,
+		Extras{Store: s.cfg.ResultStore, Tenants: s.cfg.Tenants, Journal: s.cfg.Journal}))
 }
 
 // handleAdviseIngest admits an advisor batch through the same shed
@@ -532,28 +551,91 @@ type submitted struct {
 	Poll  string     `json:"poll"`
 }
 
-func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, fn jobs.Func) {
+// TenantHeader names the tenant a submission is accounted to. Absent
+// (or empty) selects the shared default tenant.
+const TenantHeader = "X-Tenant"
+
+// maxTenantNameLen bounds tenant names so a hostile header cannot
+// bloat quota state, journal records or store entries.
+const maxTenantNameLen = 64
+
+// admitTenant applies per-tenant admission to one submission. On
+// success the returned release must be called when the job leaves
+// flight. On rejection the 429 (with Retry-After when waiting helps)
+// has been written and ok is false.
+func (s *Server) admitTenant(w http.ResponseWriter, name string) (release func(), ok bool) {
+	if len(name) > maxTenantNameLen {
+		writeError(w, http.StatusBadRequest, "tenant name exceeds %d bytes", maxTenantNameLen)
+		return nil, false
+	}
+	if s.cfg.Tenants == nil {
+		return func() {}, true
+	}
+	release, err := s.cfg.Tenants.Admit(name)
+	if err != nil {
+		s.metrics.TenantReject()
+		// Retry-After mirrors the shed 503 and queue-full 429: always
+		// present on a 429 so clients back off uniformly. The token
+		// bucket computes a real horizon; the job cap cannot (the
+		// client must finish work, not wait), so it advises 1s.
+		after := "1"
+		var le *tenant.LimitError
+		if errors.As(err, &le) && le.RetryAfter > 0 {
+			after = fmt.Sprintf("%d", int((le.RetryAfter+time.Second-1)/time.Second))
+		}
+		w.Header().Set("Retry-After", after)
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return nil, false
+	}
+	return release, true
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request, kind string, payload json.RawMessage, fn jobs.Func) {
 	if wm := s.cfg.ShedWatermark; wm > 0 && s.cfg.Queue.Depth() >= wm {
 		s.metrics.Shed()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, "%v", ErrShed)
 		return
 	}
-	spec := jobs.Spec{Kind: kind, RequestID: RequestIDFrom(r.Context()), Retries: s.cfg.JobRetries}
+	tenantName := r.Header.Get(TenantHeader)
+	release, ok := s.admitTenant(w, tenantName)
+	if !ok {
+		return
+	}
+	spec := jobs.Spec{
+		Kind:      kind,
+		RequestID: RequestIDFrom(r.Context()),
+		Tenant:    tenantName,
+		Retries:   s.cfg.JobRetries,
+		Payload:   payload,
+	}
 	id, err := s.cfg.Queue.SubmitSpec(spec, fn)
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
+		release()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "queue full, retry later")
 		return
 	case errors.Is(err, jobs.ErrDraining):
+		release()
 		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 		return
 	case err != nil:
+		release()
 		writeError(w, http.StatusInternalServerError, "submit: %v", err)
 		return
 	}
+	s.releaseOnExit(id, release)
 	writeJSON(w, http.StatusAccepted, submitted{ID: id, State: jobs.Queued, Poll: "/v1/jobs/" + id})
+}
+
+// releaseOnExit returns the tenant's in-flight slot when the job
+// reaches a terminal state (including cancellation while queued).
+func (s *Server) releaseOnExit(id string, release func()) {
+	go func() {
+		_, _, _ = s.cfg.Queue.Wait(context.Background(), id)
+		release()
+	}()
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -567,7 +649,20 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.submit(w, r, "simulate", func(ctx context.Context) (any, error) {
+	// Marshal after resolve so the journaled payload carries the
+	// defaulted fields: recovery re-resolves to the identical job.
+	payload, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.submit(w, r, "simulate", payload, s.simulateFunc(cfg, sc, req))
+}
+
+// simulateFunc builds the job body for one resolved simulate request;
+// shared by the HTTP handler and journal recovery.
+func (s *Server) simulateFunc(cfg core.ExperimentConfig, sc core.Scenario, req SimulateRequest) jobs.Func {
+	return func(ctx context.Context) (any, error) {
 		jobStart := time.Now()
 		exp, hit, bypassed, err := s.baseline(ctx, cfg)
 		if err != nil {
@@ -618,7 +713,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		return res, nil
-	})
+	}
 }
 
 // SweepRequest is the POST /v1/sweep body: regenerate one evaluation
@@ -637,43 +732,72 @@ type SweepRequest struct {
 	Workloads []string `json:"workloads,omitempty"`
 }
 
-func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
+// sweepOptions validates a sweep request and resolves its figure
+// driver and options; shared by the HTTP handler and journal recovery.
+func (s *Server) sweepOptions(req *SweepRequest) (func(core.Options) (*core.Figure, error), core.Options, error) {
+	var opts core.Options
 	driver, ok := core.Figures()[req.Figure]
 	if !ok {
-		writeError(w, http.StatusBadRequest, "unknown figure %q (want 3..7)", req.Figure)
-		return
+		return nil, opts, fmt.Errorf("unknown figure %q (want 3..7)", req.Figure)
 	}
-	opts := core.Options{Nodes: req.Nodes, Iterations: req.Iters, Reps: req.Reps, Seed: req.Seed}
+	opts = core.Options{Nodes: req.Nodes, Iterations: req.Iters, Reps: req.Reps, Seed: req.Seed}
 	switch req.Scale {
 	case "", "reduced":
 		opts.Scale = core.Reduced
 	case "paper":
 		opts.Scale = core.Paper
 	default:
-		writeError(w, http.StatusBadRequest, "unknown scale %q", req.Scale)
-		return
+		return nil, opts, fmt.Errorf("unknown scale %q", req.Scale)
 	}
 	if req.Nodes != 0 && (req.Nodes < 2 || req.Nodes > s.cfg.MaxNodes) {
-		writeError(w, http.StatusBadRequest, "nodes must be in [2, %d]", s.cfg.MaxNodes)
-		return
+		return nil, opts, fmt.Errorf("nodes must be in [2, %d]", s.cfg.MaxNodes)
 	}
 	for _, wl := range req.Workloads {
 		if _, err := tracegen.Lookup(wl); err != nil {
-			writeError(w, http.StatusBadRequest, "unknown workload %q", wl)
-			return
+			return nil, opts, fmt.Errorf("unknown workload %q", wl)
 		}
 	}
 	opts.Workloads = req.Workloads
-	s.submit(w, r, "sweep", func(ctx context.Context) (any, error) {
+	return driver, opts, nil
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	driver, opts, err := s.sweepOptions(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	s.submit(w, r, "sweep", payload, s.sweepFunc(driver, opts, r.Header.Get(TenantHeader), payload))
+}
+
+// sweepFunc builds the job body for one validated sweep request.
+// Figure generation is deterministic, so the result is persisted in
+// the content-addressed store (when configured) keyed by the request
+// payload: a repeated or recovered request re-serves the stored bytes
+// verbatim instead of recomputing.
+func (s *Server) sweepFunc(driver func(core.Options) (*core.Figure, error), opts core.Options, tenantName string, payload []byte) jobs.Func {
+	return func(ctx context.Context) (any, error) {
 		// Figure drivers do not take a context yet; honor cancellation
 		// at the job boundary.
 		if err := ctx.Err(); err != nil {
 			return nil, err
+		}
+		var key string
+		if s.cfg.ResultStore != nil {
+			key = simcache.ResultKey("sweep", payload)
+			if b, ok := s.cfg.ResultStore.Get(key); ok {
+				return json.RawMessage(b), nil
+			}
 		}
 		start := time.Now()
 		f, err := driver(opts)
@@ -685,8 +809,28 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if err := f.WriteJSON(&buf); err != nil {
 			return nil, err
 		}
+		s.persistResult(ctx, tenantName, key, buf.Bytes())
 		return json.RawMessage(buf.Bytes()), nil
-	})
+	}
+}
+
+// persistResult stores a sweep result durably, honoring the tenant's
+// disk quota: overage (or a store fault) skips persistence and is
+// counted — durability degrades, the job still succeeds.
+func (s *Server) persistResult(ctx context.Context, tenantName, key string, b []byte) {
+	if s.cfg.ResultStore == nil || key == "" {
+		return
+	}
+	if s.cfg.Tenants != nil &&
+		!s.cfg.Tenants.DiskAllowed(tenantName, s.cfg.ResultStore.TenantBytes(tenantName), int64(len(b))) {
+		if s.cfg.Log != nil {
+			s.cfg.Log.Printf("store: disk quota exceeded for tenant %q, result not persisted", tenantName)
+		}
+		return
+	}
+	if err := s.cfg.ResultStore.Put(ctx, tenantName, key, b); err != nil && s.cfg.Log != nil {
+		s.cfg.Log.Printf("store: persist %s failed: %v", key, err)
+	}
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -733,6 +877,69 @@ func (s *Server) baseline(ctx context.Context, cfg core.ExperimentConfig) (exp *
 	s.metrics.CacheBypass()
 	exp, err = core.NewExperiment(cfg)
 	return exp, false, true, err
+}
+
+// Recover replays the job WAL at dir and re-enqueues every job that
+// had no terminal record, under its original id — clients polling a
+// pre-crash job id find their job again, and seeds ride along in the
+// journaled payload so re-runs are bit-identical. Jobs whose payloads
+// no longer validate (version skew across a deploy) are skipped with a
+// log line, never an error: recovery must bring the daemon up.
+// Corrupt journal segments are quarantined by the journal layer and
+// reported in the stats.
+func (s *Server) Recover(ctx context.Context, dir string) (int, journal.ReplayStats, error) {
+	pending, st, err := jobs.Recover(ctx, dir)
+	if err != nil {
+		return 0, st, err
+	}
+	n := 0
+	for _, p := range pending {
+		fn, err := s.rebuildFunc(p)
+		if err != nil {
+			if s.cfg.Log != nil {
+				s.cfg.Log.Printf("recover: skipping job %s (kind=%s): %v", p.ID, p.Spec.Kind, err)
+			}
+			continue
+		}
+		if _, err := s.cfg.Queue.SubmitRecovered(p, fn); err != nil {
+			if s.cfg.Log != nil {
+				s.cfg.Log.Printf("recover: re-enqueue %s: %v", p.ID, err)
+			}
+			continue
+		}
+		n++
+	}
+	return n, st, nil
+}
+
+// rebuildFunc reconstructs a job body from its journaled kind and
+// payload. Funcs are closures and cannot be persisted; this is their
+// inverse, resolving the payload exactly as the original handler did.
+func (s *Server) rebuildFunc(p jobs.PendingJob) (jobs.Func, error) {
+	switch p.Spec.Kind {
+	case "simulate":
+		var req SimulateRequest
+		if err := json.Unmarshal(p.Spec.Payload, &req); err != nil {
+			return nil, err
+		}
+		cfg, sc, err := s.resolve(&req)
+		if err != nil {
+			return nil, err
+		}
+		return s.simulateFunc(cfg, sc, req), nil
+	case "sweep":
+		var req SweepRequest
+		if err := json.Unmarshal(p.Spec.Payload, &req); err != nil {
+			return nil, err
+		}
+		driver, opts, err := s.sweepOptions(&req)
+		if err != nil {
+			return nil, err
+		}
+		return s.sweepFunc(driver, opts, p.Spec.Tenant, p.Spec.Payload), nil
+	default:
+		return nil, fmt.Errorf("no recovery for job kind %q", p.Spec.Kind)
+	}
 }
 
 // maxBodyBytes bounds request bodies; simulation requests are tiny.

@@ -1,0 +1,389 @@
+package simcache
+
+// The on-disk result store extends the package's content-addressed
+// keying (Key's sha256 canonicalization) from resident baselines to
+// durable job results: the server stores each completed job's result
+// bytes under the sha256 of its canonical request, so a restarted
+// daemon answers replayed or repeated requests from disk instead of
+// recomputing — and a corrupted entry degrades to a recompute, never to
+// a wrong answer or a crash (docs/DURABILITY.md).
+//
+// Entry format (one file per key, sharded by the key's first byte):
+//
+//	"CESR1\n"                     magic + format version
+//	[2 bytes LE tenant length][tenant]
+//	[4 bytes LE IEEE CRC32 of payload]
+//	[payload]
+//
+// Writes are atomic: the entry is assembled in a temp file in the same
+// directory and renamed into place, so readers never observe a partial
+// entry and a crash mid-write leaves only a stray temp file (removed by
+// the startup scan). Reads verify the CRC; a short or corrupt entry is
+// quarantined (renamed *.corrupt) and reported as a miss. The tenant
+// recorded in the header feeds per-tenant disk accounting, rebuilt by
+// Scan on startup.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/faultinject"
+)
+
+// ResultKey extends Key's sha256 content addressing from experiment
+// configurations to whole job results: the key is the hash of the job
+// kind plus the canonical request payload, so two submissions that ask
+// for the same computation share one stored answer (the pipeline's
+// determinism contract makes the answer a pure function of the
+// request).
+func ResultKey(kind string, payload []byte) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "kind=%s|", kind)
+	h.Write(payload)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// storeMagic frames every entry; bump the digit on format changes.
+var storeMagic = []byte("CESR1\n")
+
+// maxTenantLen bounds the tenant name recorded in an entry header.
+const maxTenantLen = 256
+
+// StoreStats is the store's /metrics section.
+type StoreStats struct {
+	// Entries and SizeBytes gauge the live store (maintained
+	// incrementally after the startup scan).
+	Entries   int   `json:"entries"`
+	SizeBytes int64 `json:"size_bytes"`
+	// Puts, Hits and Misses count operations since open.
+	Puts   uint64 `json:"puts"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// WriteErrors counts failed Puts (disk errors or injected faults);
+	// each one degraded durability, not correctness.
+	WriteErrors uint64 `json:"write_errors"`
+	// Quarantined counts corrupt entries renamed *.corrupt — by the
+	// startup scan or by a read that failed verification.
+	Quarantined uint64 `json:"quarantined"`
+	// Tenants is the per-tenant resident footprint, sorted by name.
+	Tenants []TenantUsage `json:"tenants,omitempty"`
+}
+
+// TenantUsage is one tenant's resident store footprint.
+type TenantUsage struct {
+	Tenant    string `json:"tenant"`
+	Entries   int    `json:"entries"`
+	SizeBytes int64  `json:"size_bytes"`
+}
+
+// Store is a content-addressed on-disk result store. Construct with
+// OpenStore; all methods are safe for concurrent use.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	entries int
+	size    int64
+	tenants map[string]*TenantUsage
+
+	puts        uint64
+	hits        uint64
+	misses      uint64
+	writeErrors uint64
+	quarantined uint64
+}
+
+// OpenStore creates dir if needed and runs the startup integrity scan:
+// every entry is CRC-verified, corrupt or truncated entries are
+// quarantined (never fatal), stray temp files from interrupted writes
+// are removed, and per-tenant usage is rebuilt from the surviving
+// headers.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("simcache: open store %s: %w", dir, err)
+	}
+	s := &Store{dir: dir, tenants: map[string]*TenantUsage{}}
+	if err := s.scan(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// scan walks the store once at open, verifying and accounting every
+// entry. Damage is quarantined and counted; only an unreadable
+// directory is an error.
+func (s *Store) scan() error {
+	shards, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("simcache: scan store: %w", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		shardDir := filepath.Join(s.dir, shard.Name())
+		entries, err := os.ReadDir(shardDir)
+		if err != nil {
+			return fmt.Errorf("simcache: scan store: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			path := filepath.Join(shardDir, name)
+			switch {
+			case strings.HasPrefix(name, tmpPrefix):
+				// Leftover from a write interrupted before rename.
+				_ = os.Remove(path)
+				continue
+			case strings.HasSuffix(name, ".corrupt"):
+				continue
+			}
+			tenant, payload, err := readEntry(path)
+			if err != nil {
+				s.quarantined++
+				_ = os.Rename(path, path+".corrupt")
+				continue
+			}
+			s.account(tenant, int64(len(payload)), 1)
+		}
+	}
+	return nil
+}
+
+// account adjusts the global and per-tenant gauges. s.mu must be held
+// (or the store not yet published).
+func (s *Store) account(tenant string, deltaBytes int64, deltaEntries int) {
+	s.entries += deltaEntries
+	s.size += deltaBytes
+	u, ok := s.tenants[tenant]
+	if !ok {
+		u = &TenantUsage{Tenant: tenant}
+		s.tenants[tenant] = u
+	}
+	u.Entries += deltaEntries
+	u.SizeBytes += deltaBytes
+}
+
+// tmpPrefix marks in-progress writes; the startup scan removes strays.
+const tmpPrefix = ".tmp-"
+
+// validKey accepts lowercase-hex content hashes (the shape Key and
+// ResultKey produce) so a hostile key cannot escape the store root.
+func validKey(key string) error {
+	if len(key) < 8 || len(key) > 128 {
+		return fmt.Errorf("simcache: store key %q: length outside [8, 128]", key)
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return fmt.Errorf("simcache: store key %q: not lowercase hex", key)
+		}
+	}
+	return nil
+}
+
+// path shards entries by the key's leading byte pair.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key[:2], key)
+}
+
+// Put atomically persists payload under key for tenant: temp file in
+// the entry's shard directory, fsync, rename. A failed Put is counted
+// and returned but must be treated as a durability downgrade by
+// callers, never a request failure. ctx feeds the store.write fault
+// site.
+func (s *Store) Put(ctx context.Context, tenant, key string, payload []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	if len(tenant) > maxTenantLen {
+		return fmt.Errorf("simcache: tenant name exceeds %d bytes", maxTenantLen)
+	}
+	err := s.put(ctx, tenant, key, payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.writeErrors++
+		return err
+	}
+	s.puts++
+	return nil
+}
+
+func (s *Store) put(ctx context.Context, tenant, key string, payload []byte) error {
+	if err := faultinject.Fire(ctx, faultinject.SiteStoreWrite); err != nil {
+		return fmt.Errorf("simcache: store write: %w", err)
+	}
+	final := s.path(key)
+	shardDir := filepath.Dir(final)
+	if err := os.MkdirAll(shardDir, 0o755); err != nil {
+		return fmt.Errorf("simcache: store write: %w", err)
+	}
+	s.mu.Lock()
+	_, existed := s.lookupLocked(tenant, key)
+	s.mu.Unlock()
+
+	tmp, err := os.CreateTemp(shardDir, tmpPrefix+key+"-*")
+	if err != nil {
+		return fmt.Errorf("simcache: store write: %w", err)
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			_ = os.Remove(tmp.Name())
+		}
+	}()
+	var hdr []byte
+	hdr = append(hdr, storeMagic...)
+	var tl [2]byte
+	binary.LittleEndian.PutUint16(tl[:], uint16(len(tenant)))
+	hdr = append(hdr, tl[:]...)
+	hdr = append(hdr, tenant...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	hdr = append(hdr, crc[:]...)
+	if _, err := tmp.Write(hdr); err != nil {
+		return fmt.Errorf("simcache: store write: %w", err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		return fmt.Errorf("simcache: store write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("simcache: store write: %w", err)
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		_ = os.Remove(name)
+		return fmt.Errorf("simcache: store write: %w", err)
+	}
+	tmp = nil
+	if err := os.Rename(name, final); err != nil {
+		_ = os.Remove(name)
+		return fmt.Errorf("simcache: store write: %w", err)
+	}
+	s.mu.Lock()
+	if !existed {
+		s.account(tenant, int64(len(payload)), 1)
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// lookupLocked reports whether tenant already holds an entry for key.
+// It exists only to keep double-Puts from double-counting; the
+// filesystem is the source of truth.
+func (s *Store) lookupLocked(tenant, key string) (*TenantUsage, bool) {
+	u, ok := s.tenants[tenant]
+	if !ok {
+		return nil, false
+	}
+	if _, err := os.Stat(s.path(key)); err != nil {
+		return u, false
+	}
+	return u, true
+}
+
+// Get returns the stored payload for key. A missing entry is a plain
+// miss; a short or corrupt entry is quarantined, counted, and reported
+// as a miss — the caller recomputes, which is bit-identical by the
+// pipeline's determinism contract.
+func (s *Store) Get(key string) ([]byte, bool) {
+	if validKey(key) != nil {
+		return nil, false
+	}
+	path := s.path(key)
+	tenant, payload, err := readEntry(path)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.misses++
+		if !os.IsNotExist(err) {
+			// Present but damaged: quarantine it and drop its footprint
+			// from the gauges (best effort — if the header itself is
+			// gone the tenant attribution is lost, not the safety).
+			s.quarantined++
+			if info, statErr := os.Stat(path); statErr == nil && tenant != "" {
+				payloadLen := info.Size() - int64(len(storeMagic)+2+len(tenant)+4)
+				if payloadLen < 0 {
+					payloadLen = 0
+				}
+				s.account(tenant, -payloadLen, -1)
+			}
+			_ = os.Rename(path, path+".corrupt")
+		}
+		return nil, false
+	}
+	s.hits++
+	return payload, true
+}
+
+// readEntry reads and verifies one entry file. The tenant is returned
+// even on some damage paths (best effort) so accounting can adjust.
+func readEntry(path string) (tenant string, payload []byte, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, err
+	}
+	if len(data) < len(storeMagic)+2 {
+		return "", nil, fmt.Errorf("simcache: entry %s: short header", path)
+	}
+	if string(data[:len(storeMagic)]) != string(storeMagic) {
+		return "", nil, fmt.Errorf("simcache: entry %s: bad magic", path)
+	}
+	rest := data[len(storeMagic):]
+	tl := int(binary.LittleEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	if tl > maxTenantLen || len(rest) < tl+4 {
+		return "", nil, fmt.Errorf("simcache: entry %s: truncated", path)
+	}
+	tenant = string(rest[:tl])
+	rest = rest[tl:]
+	want := binary.LittleEndian.Uint32(rest[:4])
+	payload = rest[4:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return tenant, nil, fmt.Errorf("simcache: entry %s: crc mismatch", path)
+	}
+	return tenant, payload, nil
+}
+
+// TenantBytes returns tenant's resident footprint, for disk quotas.
+func (s *Store) TenantBytes(tenant string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u, ok := s.tenants[tenant]; ok {
+		return u.SizeBytes
+	}
+	return 0
+}
+
+// Stats snapshots the store's gauges and counters.
+func (s *Store) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := StoreStats{
+		Entries: s.entries, SizeBytes: s.size,
+		Puts: s.puts, Hits: s.hits, Misses: s.misses,
+		WriteErrors: s.writeErrors, Quarantined: s.quarantined,
+	}
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.Tenants = append(st.Tenants, *s.tenants[name])
+	}
+	return st
+}

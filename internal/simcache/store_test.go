@@ -1,0 +1,262 @@
+package simcache
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+)
+
+func openStore(t *testing.T) *Store {
+	t.Helper()
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	s := openStore(t)
+	key := ResultKey("sweep", []byte(`{"figure":"3"}`))
+	payload := []byte(`{"rows":[1,2,3]}`)
+	if err := s.Put(context.Background(), "acme", key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("get: ok=%v payload=%q", ok, got)
+	}
+	st := s.Stats()
+	if st.Entries != 1 || st.Puts != 1 || st.Hits != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(st.Tenants) != 1 || st.Tenants[0].Tenant != "acme" || st.Tenants[0].SizeBytes != int64(len(payload)) {
+		t.Fatalf("tenant usage: %+v", st.Tenants)
+	}
+}
+
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ResultKey("simulate", []byte(`{"nodes":16}`))
+	if err := s.Put(context.Background(), "acme", key, []byte("result-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok || string(got) != "result-bytes" {
+		t.Fatalf("reopened store lost the entry: ok=%v %q", ok, got)
+	}
+	if b := s2.TenantBytes("acme"); b != int64(len("result-bytes")) {
+		t.Fatalf("tenant accounting not rebuilt by scan: %d", b)
+	}
+}
+
+// entryPath digs out the single entry file under the store root.
+func entryPath(t *testing.T, s *Store, key string) string {
+	t.Helper()
+	p := filepath.Join(s.Dir(), key[:2], key)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry file missing: %v", err)
+	}
+	return p
+}
+
+// TestStoreCorruptPayloadBitIdentical is the satellite acceptance: a
+// backing-store entry whose payload bytes were flipped must be
+// quarantined and reported as a miss, and the recomputed result the
+// caller falls back to must be bit-identical to the original bytes —
+// the same degrade-to-recompute contract the baseline cache's breaker
+// provides.
+func TestStoreCorruptPayloadBitIdentical(t *testing.T) {
+	opts := core.Options{Nodes: 16, Iterations: 2, Reps: 1, Seed: 1, Workloads: []string{"minife"}}
+	fig, err := core.Figure4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var original bytes.Buffer
+	if err := fig.WriteJSON(&original); err != nil {
+		t.Fatal(err)
+	}
+
+	s := openStore(t)
+	key := ResultKey("sweep", []byte(`{"figure":"4","nodes":16}`))
+	if err := s.Put(context.Background(), "t1", key, original.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one payload byte on disk.
+	path := entryPath(t, s, key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if st := s.Stats(); st.Quarantined != 1 {
+		t.Fatalf("corrupt entry not quarantined: %+v", st)
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("quarantine rename missing: %v", err)
+	}
+
+	// The bypass path recomputes; determinism makes it bit-identical.
+	refig, err := core.Figure4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recomputed bytes.Buffer
+	if err := refig.WriteJSON(&recomputed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recomputed.Bytes(), original.Bytes()) {
+		t.Fatal("recomputed result differs from the original bytes")
+	}
+	// And re-storing after the recompute serves hits again.
+	if err := s.Put(context.Background(), "t1", key, recomputed.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, original.Bytes()) {
+		t.Fatal("re-stored entry does not round-trip")
+	}
+}
+
+// TestStoreShortReadQuarantined truncates an entry mid-payload (a
+// short read) and mid-header; both must quarantine as misses, not
+// error or crash.
+func TestStoreShortReadQuarantined(t *testing.T) {
+	s := openStore(t)
+	key := ResultKey("sweep", []byte("short-read"))
+	if err := s.Put(context.Background(), "t1", key, []byte("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	path := entryPath(t, s, key)
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-8); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("short entry served as a hit")
+	}
+
+	key2 := ResultKey("sweep", []byte("short-header"))
+	if err := s.Put(context.Background(), "t1", key2, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	path2 := entryPath(t, s, key2)
+	if err := os.Truncate(path2, 3); err != nil { // inside the magic
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key2); ok {
+		t.Fatal("truncated-header entry served as a hit")
+	}
+	if st := s.Stats(); st.Quarantined != 2 {
+		t.Fatalf("quarantined %d, want 2", st.Quarantined)
+	}
+}
+
+// TestStoreScanQuarantinesAndCleans puts entries, corrupts one and
+// plants a stray temp file, then reopens: the scan must quarantine the
+// damage, remove the stray, and keep the good entry.
+func TestStoreScanQuarantinesAndCleans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := ResultKey("sweep", []byte("good"))
+	bad := ResultKey("sweep", []byte("bad"))
+	if err := s.Put(context.Background(), "t1", good, []byte("good-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(context.Background(), "t1", bad, []byte("bad-payload")); err != nil {
+		t.Fatal(err)
+	}
+	badPath := entryPath(t, s, bad)
+	data, _ := os.ReadFile(badPath)
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(badPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stray := filepath.Join(dir, good[:2], tmpPrefix+"stray-123")
+	if err := os.WriteFile(stray, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Quarantined != 1 || st.Entries != 1 {
+		t.Fatalf("scan stats: %+v", st)
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("stray temp file survived the scan")
+	}
+	if _, ok := s2.Get(good); !ok {
+		t.Fatal("good entry lost by the scan")
+	}
+	if _, ok := s2.Get(bad); ok {
+		t.Fatal("quarantined entry served")
+	}
+}
+
+// TestStoreWriteFaultDegrades arms store.write: the Put fails and is
+// counted, the entry is absent, and a later Put succeeds.
+func TestStoreWriteFaultDegrades(t *testing.T) {
+	t.Cleanup(faultinject.Disarm)
+	s := openStore(t)
+	if err := faultinject.Arm(faultinject.Plan{
+		faultinject.SiteStoreWrite: {Kind: faultinject.KindError, Probability: 1, Count: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	key := ResultKey("sweep", []byte("faulted"))
+	if err := s.Put(context.Background(), "t1", key, []byte("x")); err == nil {
+		t.Fatal("armed put did not fail")
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("failed put left an entry")
+	}
+	if err := s.Put(context.Background(), "t1", key, []byte("x")); err != nil {
+		t.Fatalf("put after budget: %v", err)
+	}
+	st := s.Stats()
+	if st.WriteErrors != 1 || st.Puts != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestStoreRejectsHostileKeys(t *testing.T) {
+	s := openStore(t)
+	for _, key := range []string{"", "short", "../../../../etc/passwd", "ABCDEF0123456789", "0123456789abcdef/evil"} {
+		if err := s.Put(context.Background(), "t", key, []byte("x")); err == nil {
+			t.Fatalf("key %q accepted", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Fatalf("key %q readable", key)
+		}
+	}
+}
