@@ -130,12 +130,23 @@ func main() {
 	// unfinished cells. All three live under -data-dir and are absent
 	// without it.
 	var (
-		jobWAL *journal.Writer
-		store  *simcache.Store
+		jobWAL      *journal.Writer
+		store       *simcache.Store
+		pendingJobs []jobs.PendingJob
+		walStats    journal.ReplayStats
 	)
 	if *dataDir != "" {
+		walDir := filepath.Join(*dataDir, "jobs-wal")
 		var err error
-		jobWAL, err = journal.Open(filepath.Join(*dataDir, "jobs-wal"), journal.Options{})
+		// Replay strictly before opening the writer: a crash's torn
+		// tail must be discovered while the damaged segment is still the
+		// log's last — opening first would mint a new segment above it
+		// and make the tail look like mid-log damage.
+		pendingJobs, walStats, err = jobs.Recover(context.Background(), walDir)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		jobWAL, err = journal.Open(walDir, journal.Options{})
 		if err != nil {
 			logger.Fatal(err)
 		}
@@ -232,14 +243,23 @@ func main() {
 
 	// Re-enqueue journaled jobs that never reached a terminal state,
 	// under their original ids, before the listener opens — a client
-	// polling a pre-crash job id finds its job again.
+	// polling a pre-crash job id finds its job again. The acceptances
+	// re-journal through the new writer, after which the whole live set
+	// lives in the new segments and the pre-restart ones are compacted
+	// away (the WAL stays bounded by live state, not restart count).
 	if *dataDir != "" {
-		n, rst, err := srv.Recover(context.Background(), filepath.Join(*dataDir, "jobs-wal"))
-		if err != nil {
-			logger.Fatal(err)
-		}
+		n := srv.Resubmit(pendingJobs)
 		logger.Printf("job WAL: recovered %d unfinished jobs (%d records, %d quarantined segments, torn tail=%v)",
-			n, rst.Records, rst.Quarantined, rst.TornTail)
+			n, walStats.Records, walStats.Quarantined, walStats.TornTail)
+		if err := jobWAL.Sync(context.Background()); err != nil {
+			logger.Printf("job WAL sync: %v (keeping pre-restart segments)", err)
+		} else if st := queue.Stats(); st.WALErrors > 0 {
+			logger.Printf("job WAL: %d append errors during recovery, keeping pre-restart segments", st.WALErrors)
+		} else if removed, err := jobWAL.CompactBefore(); err != nil {
+			logger.Printf("job WAL compact: %v", err)
+		} else if removed > 0 {
+			logger.Printf("job WAL: compacted %d pre-restart segments", removed)
+		}
 	}
 
 	hs := &http.Server{

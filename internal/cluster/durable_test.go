@@ -133,6 +133,121 @@ func TestCoordinatorRecoverResumesSweep(t *testing.T) {
 	}
 }
 
+// TestCoordinatorSurvivesTornTailDoubleRestart is the regression for
+// the torn-tail quarantine bug: a crash mid-append leaves a partial
+// record at the WAL's tail, and the sweep must survive not just the
+// first restart (where the torn segment is still the log's last) but a
+// SECOND one, after recovery has stacked new segments above it. Before
+// the fix, the second replay saw the torn segment as non-final,
+// quarantined it whole, and silently dropped the sweep.
+func TestCoordinatorSurvivesTornTailDoubleRestart(t *testing.T) {
+	dir := t.TempDir()
+	clock := newFakeClock()
+	ctx := context.Background()
+
+	c1, _, err := OpenCoordinator(ctx, testConfig(clock), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := c1.Register("", "")
+	spec := SpecFromOptions([]string{"4"}, tinyOpts())
+	id, shards, err := c1.CreateSweep(spec)
+	if err != nil || shards != 2 {
+		t.Fatalf("create: %v (%d shards)", err, shards)
+	}
+	clock.Advance(time.Second)
+	g1, err := c1.Lease(w1)
+	if err != nil || g1 == nil {
+		t.Fatalf("lease: %v %+v", err, g1)
+	}
+	if err := c1.Report(w1, id, g1.Key, computeFragment(t, g1), ""); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL mid-append: a partial record header lands at the tail of
+	// the last segment.
+	segs, err := os.ReadDir(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("journal dir: %v (%d entries)", err, len(segs))
+	}
+	last := filepath.Join(dir, segs[len(segs)-1].Name())
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// First restart: the torn segment is still the final one.
+	c2, st2, err := OpenCoordinator(ctx, testConfig(clock), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Quarantined != 0 || !st2.TornTail {
+		t.Fatalf("first restart stats: %+v", st2)
+	}
+	if res, err := c2.Sweep(id); err != nil || res.Done != 1 || res.Total != 2 {
+		t.Fatalf("sweep after first restart: %+v, %v", res, err)
+	}
+	// Second SIGKILL (no Close), second restart: recovery appended new
+	// segments above the previously-torn one.
+	c3, st3, err := OpenCoordinator(ctx, testConfig(clock), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	if st3.Quarantined != 0 {
+		t.Fatalf("second restart quarantined valid history: %+v", st3)
+	}
+	res, err := c3.Sweep(id)
+	if err != nil || res.Done != 1 || res.Total != 2 {
+		t.Fatalf("sweep lost across second restart: %+v, %v", res, err)
+	}
+	if c3.Epoch() != 3 {
+		t.Fatalf("epoch after two restarts = %d, want 3", c3.Epoch())
+	}
+
+	// Finish on the third generation; the merge must still match the
+	// sequential driver bit-for-bit.
+	w3, _ := c3.Register("", "")
+	clock.Advance(time.Second)
+	g3, err := c3.Lease(w3)
+	if err != nil || g3 == nil {
+		t.Fatalf("lease on third generation: %v %+v", err, g3)
+	}
+	if err := c3.Report(w3, id, g3.Key, computeFragment(t, g3), ""); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c3.Sweep(id)
+	if err != nil || res.State != "done" {
+		t.Fatalf("finish: %+v, %v", res, err)
+	}
+	want, err := core.Figure4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(figureBytes(t, res.Figures["4"]), figureBytes(t, want)) {
+		t.Fatal("merge after two restarts differs from the sequential driver")
+	}
+
+	// Each recovery re-journals a snapshot and compacts its
+	// predecessors: the WAL is bounded by live state, not restart count.
+	var live int
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".seg" {
+			live++
+		}
+	}
+	if live != 1 {
+		t.Fatalf("%d live segments after two recoveries, want 1 (compaction)", live)
+	}
+}
+
 // copyDir clones a journal directory so two replays can fold the same
 // WAL independently.
 func copyDir(t *testing.T, src, dst string) {

@@ -104,6 +104,13 @@ func (c *Coordinator) journalShardDoneLocked(sw *sweep, sh *shard) {
 // are told to re-register instead of acting on void leases. Corrupt
 // segments are quarantined by the journal layer and surfaced in the
 // replay stats, never an error.
+//
+// The recovered state is then re-journaled through the new writer as a
+// snapshot and, once that snapshot is durably synced, the pre-restart
+// segments are compacted away. This keeps the WAL bounded by live
+// state instead of growing per restart, and means an unfinished sweep
+// survives ANY number of coordinator restarts: each generation's
+// journal is self-contained.
 func OpenCoordinator(ctx context.Context, cfg Config, dir string) (*Coordinator, journal.ReplayStats, error) {
 	c := NewCoordinator(cfg)
 	st, err := c.replay(ctx, dir)
@@ -117,16 +124,72 @@ func OpenCoordinator(ctx context.Context, cfg Config, dir string) (*Coordinator,
 	c.mu.Lock()
 	c.cfg.Journal = w
 	c.ownJournal = w
+	errsBefore := c.journalErrors
 	c.journalLocked(coordRecord{Op: copEpoch, Epoch: c.epoch})
+	c.snapshotLocked()
+	intact := c.journalErrors == errsBefore
 	c.mu.Unlock()
 	if err := w.Sync(ctx); err != nil {
-		// The epoch stamp missing from disk only means the next replay
+		// The snapshot (and epoch stamp) missing from disk only means
+		// the old segments stay authoritative and the next replay
 		// computes the same epoch number again; not fatal.
+		intact = false
 		c.mu.Lock()
 		c.journalErrors++
 		c.mu.Unlock()
 	}
+	// Drop pre-restart segments only when every snapshot record landed:
+	// a partial snapshot must leave the old log as the durable copy.
+	if intact {
+		if _, err := w.CompactBefore(); err != nil {
+			c.mu.Lock()
+			c.journalErrors++
+			c.mu.Unlock()
+		}
+	}
 	return c, st, nil
+}
+
+// snapshotLocked re-journals the recovered state through the freshly
+// opened writer: each sweep's creation, the surviving attempt counts
+// and last errors of its pending shards, its completed fragments, and
+// its terminal failure — in the order the original log applied them,
+// so replaying the snapshot folds to the same state. c.mu must be
+// held. A failed append is counted in journalErrors; the caller uses
+// that to decide whether compaction is safe.
+func (c *Coordinator) snapshotLocked() {
+	for _, id := range c.sweepIDs {
+		sw := c.sweeps[id]
+		c.journalLocked(coordRecord{Op: copSweepCreated, SweepID: id, Spec: &sw.spec})
+		for _, sh := range sw.shards {
+			switch sh.state {
+			case shardPending:
+				if sh.lastErr != "" {
+					c.journalLocked(coordRecord{
+						Op: copShardFailed, SweepID: id, Key: sh.cell.Key(),
+						Attempts: sh.attempts, Error: sh.lastErr,
+					})
+				} else if sh.attempts > 0 {
+					c.journalLocked(coordRecord{
+						Op: copLease, SweepID: id, Key: sh.cell.Key(),
+						Attempts: sh.attempts,
+					})
+				}
+			case shardDone:
+				c.journalShardDoneLocked(sw, sh)
+			}
+		}
+		if sw.failed {
+			var key string
+			for _, sh := range sw.shards {
+				if sh.state == shardFailed {
+					key = sh.cell.Key()
+					break
+				}
+			}
+			c.journalLocked(coordRecord{Op: copSweepFailed, SweepID: id, Key: key, Error: sw.err})
+		}
+	}
 }
 
 // Close syncs and closes the journal OpenCoordinator created, if any.

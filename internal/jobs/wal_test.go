@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"errors"
 	"log"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -108,6 +110,72 @@ func TestSubmitRecoveredPreservesID(t *testing.T) {
 	}
 	if len(pending) != 0 {
 		t.Fatalf("completed recovered job still pending: %+v", pending)
+	}
+}
+
+// TestRecoverTornTailAcrossTwoRestarts mirrors the daemon's recovery
+// cycle — replay, THEN open a new writer, then re-submit — across two
+// crashes, the first of which tears the WAL's tail mid-append. After
+// the second crash the torn segment is no longer the log's last; it
+// must still replay its whole records instead of being quarantined, or
+// the unfinished job silently vanishes on the second restart.
+func TestRecoverTornTailAcrossTwoRestarts(t *testing.T) {
+	dir := t.TempDir()
+	w1 := openJournal(t, dir)
+	q1 := New(Config{Workers: 1, Journal: w1})
+	block := make(chan struct{})
+	defer close(block)
+	id, err := q1.SubmitSpec(Spec{Kind: "slow", RequestID: "r-torn", Payload: json.RawMessage(`{}`)},
+		func(ctx context.Context) (any, error) { <-block; return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	// SIGKILL mid-append: partial record bytes at the tail, no Close.
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("wal dir: %v (%d)", err, len(entries))
+	}
+	seg := filepath.Join(dir, entries[len(entries)-1].Name())
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x20, 0x00, 0x00}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Restart 1, in daemon order: replay first, then open the writer,
+	// then re-submit (which re-journals the acceptance).
+	pending1, st1, err := Recover(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending1) != 1 || pending1[0].ID != id {
+		t.Fatalf("first recovery: %+v", pending1)
+	}
+	if !st1.TornTail || st1.Quarantined != 0 {
+		t.Fatalf("first recovery stats: %+v", st1)
+	}
+	w2 := openJournal(t, dir)
+	q2 := New(Config{Workers: 1, Journal: w2})
+	if _, err := q2.SubmitRecovered(pending1[0],
+		func(ctx context.Context) (any, error) { <-block; return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	// Second SIGKILL (no Close), restart 2: the once-torn segment now
+	// sits behind the writer's newer segments.
+	pending2, st2, err := Recover(context.Background(), dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Quarantined != 0 {
+		t.Fatalf("second recovery quarantined valid history: %+v", st2)
+	}
+	if len(pending2) != 1 || pending2[0].ID != id || pending2[0].Spec.RequestID != "r-torn" {
+		t.Fatalf("job lost across second restart: %+v", pending2)
 	}
 }
 

@@ -21,11 +21,19 @@
 // survives the process.
 //
 // Replay reads segments in order and is tolerant by construction: a
-// torn record at the tail of the final segment is the expected shape of
-// a crash mid-append and ends replay cleanly; a CRC mismatch anywhere
-// else is corruption, and the offending segment is quarantined (renamed
-// to *.corrupt) and skipped rather than crashing recovery. Both
-// outcomes are counted so /metrics can surface them.
+// record cut short by a segment's end is the expected shape of a crash
+// mid-append — tolerated (and truncated away) in ANY segment, because
+// restarts append to new segments and may leave an old crash's tail
+// behind newer files; a CRC mismatch on a whole record, or an
+// impossible length, is corruption, and the offending segment is
+// quarantined (renamed to *.corrupt) and skipped rather than crashing
+// recovery. Both outcomes are counted so /metrics can surface them.
+//
+// The log does not grow per restart: Open reuses a trailing empty
+// segment instead of minting a new file, and after a recovery has
+// re-journaled its full live state through a new writer, CompactBefore
+// drops the pre-restart segments — their records are by then only
+// terminally-resolved history.
 //
 // The package itself never reads a clock or draws randomness: replayed
 // state is a pure function of the bytes on disk, which is what makes
@@ -95,6 +103,9 @@ type Stats struct {
 	// AppendErrors counts appends that failed (disk error or injected
 	// fault); the caller degraded to lower durability, not to a crash.
 	AppendErrors uint64 `json:"append_errors"`
+	// Compacted counts pre-restart segments removed by CompactBefore
+	// after their contents were re-journaled through this writer.
+	Compacted uint64 `json:"compacted"`
 }
 
 // Writer appends records to the log. Construct with Open; methods are
@@ -109,17 +120,24 @@ type Writer struct {
 	segSize  int64
 	segCount int
 	pending  int // appends since last sync
+	// firstIndex is the lowest segment index this writer owns — the
+	// compaction floor: CompactBefore never touches this segment or
+	// anything above it.
+	firstIndex int
 
 	appends   uint64
 	syncs     uint64
 	rotations uint64
 	appendErr uint64
+	compacted uint64
 }
 
 // Open creates dir if needed and opens a writer positioned after the
 // existing log: appends go to a fresh segment numbered above every
 // segment already present, so recovery never has to distinguish old
-// bytes from new ones inside a file.
+// bytes from new ones inside a file. One exception keeps restarts from
+// minting files forever: a trailing EMPTY segment (left by an Open that
+// never appended) is reused, since it holds no old bytes to confuse.
 func Open(dir string, opts Options) (*Writer, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: open %s: %w", dir, err)
@@ -128,16 +146,27 @@ func Open(dir string, opts Options) (*Writer, error) {
 	if err != nil {
 		return nil, err
 	}
-	next := 1
+	w := &Writer{dir: dir, opts: opts.withDefaults(), segCount: len(segs)}
 	if n := len(segs); n > 0 {
-		next = segs[n-1].index + 1
+		last := segs[n-1]
+		w.segIndex = last.index
+		path := filepath.Join(dir, last.name)
+		if info, err := os.Stat(path); err == nil && info.Size() == 0 {
+			f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return nil, fmt.Errorf("journal: reopen segment: %w", err)
+			}
+			w.f = f
+			w.firstIndex = last.index
+			return w, nil
+		}
 	}
-	w := &Writer{dir: dir, opts: opts.withDefaults(), segIndex: next - 1, segCount: len(segs)}
 	if err := w.rotateLocked(); err != nil {
 		return nil, err
 	}
 	// The first segment is not a rotation, it is the opening position.
 	w.rotations = 0
+	w.firstIndex = w.segIndex
 	return w, nil
 }
 
@@ -272,6 +301,43 @@ func (w *Writer) syncLocked() error {
 	return nil
 }
 
+// CompactBefore deletes every live segment numbered below the first
+// one this writer owns, returning how many were removed. Call it ONLY
+// after the caller has re-journaled its full live state through this
+// writer — at that point the older segments hold nothing a replay
+// needs, only terminally-resolved history, and without compaction they
+// would accumulate one (or more) per restart forever. The writer syncs
+// first so the re-journaled snapshot is durable before its
+// predecessors disappear; quarantined *.corrupt files are left behind
+// as evidence.
+func (w *Writer) CompactBefore() (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return 0, fmt.Errorf("journal: writer closed")
+	}
+	if err := w.syncLocked(); err != nil {
+		return 0, err
+	}
+	segs, err := segments(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	removed := 0
+	for _, s := range segs {
+		if s.index >= w.firstIndex {
+			break
+		}
+		if err := os.Remove(filepath.Join(w.dir, s.name)); err != nil {
+			return removed, fmt.Errorf("journal: compact: %w", err)
+		}
+		removed++
+		w.segCount--
+		w.compacted++
+	}
+	return removed, nil
+}
+
 // Close syncs and closes the current segment; the writer cannot append
 // afterwards.
 func (w *Writer) Close() error {
@@ -302,5 +368,6 @@ func (w *Writer) Stats() Stats {
 		Syncs:        w.syncs,
 		Rotations:    w.rotations,
 		AppendErrors: w.appendErr,
+		Compacted:    w.compacted,
 	}
 }

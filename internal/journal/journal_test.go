@@ -163,6 +163,161 @@ func TestTornTailDiscarded(t *testing.T) {
 	}
 }
 
+// TestTornTailInNonFinalSegment is the double-restart regression: a
+// crash tears the tail of what was then the last segment, the restart
+// appends into a NEW higher-numbered segment, and only then does the
+// next replay run. The torn segment is no longer final — but its
+// partial record is still a clean crash tail, so its whole records and
+// everything after them must replay; quarantining the segment would
+// silently drop valid history.
+func TestTornTailInNonFinalSegment(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := w.Append(context.Background(), []byte(fmt.Sprintf("old-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := segments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("segments: %v (%d)", err, len(segs))
+	}
+	torn := filepath.Join(dir, segs[0].name)
+	info, err := os.Stat(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(torn, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart without replaying first (the pre-fix daemon ordering):
+	// the writer opens a new segment above the torn one.
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(context.Background(), []byte("new-0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, st := collect(t, dir)
+	if st.Quarantined != 0 {
+		t.Fatalf("torn non-final segment quarantined: %+v", st)
+	}
+	if !st.TornTail {
+		t.Fatal("TornTail not reported")
+	}
+	want := []string{"old-0", "old-1", "new-0"}
+	if len(recs) != len(want) {
+		t.Fatalf("replayed %d records %q, want %d", len(recs), recs, len(want))
+	}
+	for i, wantRec := range want {
+		if string(recs[i]) != wantRec {
+			t.Fatalf("record %d = %q, want %q", i, recs[i], wantRec)
+		}
+	}
+	// The tail was truncated away: the next replay is clean and
+	// byte-identical.
+	recs2, st2 := collect(t, dir)
+	if st2.TornTail || st2.Quarantined != 0 {
+		t.Fatalf("torn tail not healed: %+v", st2)
+	}
+	if len(recs2) != len(recs) {
+		t.Fatalf("healed replay has %d records, want %d", len(recs2), len(recs))
+	}
+}
+
+// TestOpenReusesEmptySegment: repeated Open/Close with no appends must
+// not mint one segment file per restart.
+func TestOpenReusesEmptySegment(t *testing.T) {
+	dir := t.TempDir()
+	for i := 0; i < 3; i++ {
+		w, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := segments(dir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("idle reopens left %d segments, want 1 (%v)", len(segs), err)
+	}
+	// The reused segment accepts appends like a fresh one.
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(context.Background(), []byte("after-reuse")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := collect(t, dir)
+	if len(recs) != 1 || string(recs[0]) != "after-reuse" {
+		t.Fatalf("replay after reuse: %q", recs)
+	}
+}
+
+// TestCompactBefore: once the live state is re-journaled through a new
+// writer, the pre-restart segments are removed and replay folds only
+// the snapshot.
+func TestCompactBefore(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := w.Append(context.Background(), []byte(fmt.Sprintf("history-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(context.Background(), []byte("snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := w2.CompactBefore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("compacted %d segments, want 1", removed)
+	}
+	if st := w2.Stats(); st.Compacted != 1 || st.Segments != 1 {
+		t.Fatalf("stats after compact: %+v", st)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, st := collect(t, dir)
+	if len(recs) != 1 || string(recs[0]) != "snapshot" {
+		t.Fatalf("replay after compact: %q", recs)
+	}
+	if st.Segments != 1 {
+		t.Fatalf("live segments after compact: %+v", st)
+	}
+}
+
 // TestCorruptSegmentQuarantined flips a payload byte in the first of
 // two segments: the segment must be renamed *.corrupt and replay must
 // continue with the next segment instead of failing.

@@ -20,24 +20,32 @@ type ReplayStats struct {
 	Records int `json:"records"`
 	// Segments is the number of segment files read.
 	Segments int `json:"segments"`
-	// Quarantined counts segments renamed to *.corrupt because a record
-	// failed its CRC (or had an impossible length) somewhere other than
-	// the log's torn tail.
+	// Quarantined counts segments renamed to *.corrupt because a whole
+	// record failed its CRC or carried an impossible length — damage a
+	// crash cannot produce, only bit rot or tampering can.
 	Quarantined int `json:"quarantined"`
-	// TornTail reports that the final segment ended mid-record — the
-	// expected shape of a crash during an append; the partial record is
-	// discarded and replay ends cleanly.
+	// TornTail reports that a segment ended mid-record — the expected
+	// shape of a crash during an append. The partial record is
+	// discarded (and truncated away, best effort) and the segment's
+	// whole records all replay. A restart appends to a NEW segment, so
+	// a crash's torn tail can later sit behind newer segments; it is a
+	// clean tail wherever it is found, never corruption.
 	TornTail bool `json:"torn_tail,omitempty"`
 }
 
 // Replay reads every live segment in dir in order and calls fn for each
-// valid record. A torn record at the very tail of the final segment
-// ends replay cleanly (that is what a crash mid-append leaves behind);
-// a bad record anywhere else quarantines its segment — renamed to
-// <segment>.corrupt, skipping the segment's remaining bytes — and
-// replay continues with the next segment. Replay never invents order:
-// records are delivered exactly as appended, so the same directory
-// bytes always rebuild the same state.
+// valid record. A record cut short by the segment's end is a torn tail
+// — what a crash mid-append leaves behind — in any segment, because
+// writers only ever append to a segment's end and every restart opens a
+// new segment above the old ones: the partial record is discarded, the
+// tail truncated to the last whole record (best effort, so the damage
+// is reported once, not on every future replay), and the segment's
+// valid records are all delivered. A CRC mismatch on a complete record,
+// or an impossible length, is real corruption: the segment is
+// quarantined — renamed to <segment>.corrupt, skipping its remaining
+// bytes — and replay continues with the next segment. Replay never
+// invents order: records are delivered exactly as appended, so the same
+// directory bytes always rebuild the same state.
 //
 // fn returning an error aborts replay with that error; corruption never
 // does. ctx feeds the journal.replay fault site, fired once per
@@ -52,12 +60,11 @@ func Replay(ctx context.Context, dir string, fn func(payload []byte) error) (Rep
 		}
 		return st, err
 	}
-	for i, seg := range segs {
-		last := i == len(segs)-1
+	for _, seg := range segs {
 		if err := faultinject.Fire(ctx, faultinject.SiteJournalReplay); err != nil {
 			return st, fmt.Errorf("journal: replay %s: %w", seg.name, err)
 		}
-		tail, err := replaySegment(filepath.Join(dir, seg.name), last, &st, fn)
+		tail, err := replaySegment(filepath.Join(dir, seg.name), &st, fn)
 		if err != nil {
 			return st, err
 		}
@@ -70,14 +77,14 @@ func Replay(ctx context.Context, dir string, fn func(payload []byte) error) (Rep
 }
 
 // replaySegment reads one segment. tornTail reports a partial record at
-// the segment's end when it is the final segment; on any other framing
-// damage the segment is quarantined.
-func replaySegment(path string, last bool, st *ReplayStats, fn func([]byte) error) (tornTail bool, err error) {
+// the segment's end; a bad whole record quarantines the segment.
+func replaySegment(path string, st *ReplayStats, fn func([]byte) error) (tornTail bool, err error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return false, fmt.Errorf("journal: replay: %w", err)
 	}
 	defer f.Close()
+	var valid int64 // offset just past the last whole record
 	var hdr [headerBytes]byte
 	for {
 		_, err := io.ReadFull(f, hdr[:])
@@ -85,7 +92,7 @@ func replaySegment(path string, last bool, st *ReplayStats, fn func([]byte) erro
 			return false, nil // clean segment boundary
 		}
 		if errors.Is(err, io.ErrUnexpectedEOF) {
-			return partialTail(path, last, st)
+			return true, truncateTornTail(path, valid)
 		}
 		if err != nil {
 			return false, fmt.Errorf("journal: replay %s: %w", path, err)
@@ -102,13 +109,14 @@ func replaySegment(path string, last bool, st *ReplayStats, fn func([]byte) erro
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(f, payload); err != nil {
 			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-				return partialTail(path, last, st)
+				return true, truncateTornTail(path, valid)
 			}
 			return false, fmt.Errorf("journal: replay %s: %w", path, err)
 		}
 		if crc32.ChecksumIEEE(payload) != want {
 			return false, quarantine(path, st)
 		}
+		valid += headerBytes + int64(n)
 		st.Records++
 		if err := fn(payload); err != nil {
 			return false, err
@@ -116,13 +124,13 @@ func replaySegment(path string, last bool, st *ReplayStats, fn func([]byte) erro
 	}
 }
 
-// partialTail handles a record cut short by EOF: expected at the final
-// segment's tail, corruption anywhere else.
-func partialTail(path string, last bool, st *ReplayStats) (bool, error) {
-	if last {
-		return true, nil
-	}
-	return false, quarantine(path, st)
+// truncateTornTail heals a crash's torn tail by cutting the segment
+// back to its last whole record. Best effort: on a read-only
+// filesystem the partial record simply stays, and every replay keeps
+// discarding it the same way.
+func truncateTornTail(path string, valid int64) error {
+	_ = os.Truncate(path, valid)
+	return nil
 }
 
 // quarantine renames a damaged segment to <path>.corrupt so it is

@@ -892,6 +892,17 @@ func (s *Server) Recover(ctx context.Context, dir string) (int, journal.ReplaySt
 	if err != nil {
 		return 0, st, err
 	}
+	return s.Resubmit(pending), st, nil
+}
+
+// Resubmit re-enqueues jobs already recovered from a WAL (jobs.Recover)
+// and returns how many were accepted. It is split from Recover so the
+// daemon can replay the WAL directory BEFORE opening the new writer —
+// replaying after the writer has minted a fresh segment would make a
+// crash's torn tail look like mid-log damage — and re-submit once the
+// journaled queue exists, so the acceptances re-journal into the new
+// segments.
+func (s *Server) Resubmit(pending []jobs.PendingJob) int {
 	n := 0
 	for _, p := range pending {
 		fn, err := s.rebuildFunc(p)
@@ -909,7 +920,7 @@ func (s *Server) Recover(ctx context.Context, dir string) (int, journal.ReplaySt
 		}
 		n++
 	}
-	return n, st, nil
+	return n
 }
 
 // rebuildFunc reconstructs a job body from its journaled kind and

@@ -230,10 +230,6 @@ func (s *Store) put(ctx context.Context, tenant, key string, payload []byte) err
 	if err := os.MkdirAll(shardDir, 0o755); err != nil {
 		return fmt.Errorf("simcache: store write: %w", err)
 	}
-	s.mu.Lock()
-	_, existed := s.lookupLocked(tenant, key)
-	s.mu.Unlock()
-
 	tmp, err := os.CreateTemp(shardDir, tmpPrefix+key+"-*")
 	if err != nil {
 		return fmt.Errorf("simcache: store write: %w", err)
@@ -269,30 +265,23 @@ func (s *Store) put(ctx context.Context, tenant, key string, payload []byte) err
 		return fmt.Errorf("simcache: store write: %w", err)
 	}
 	tmp = nil
+	// Existence check and rename happen under one critical section (as
+	// Get's quarantine path already does) so two concurrent Puts of the
+	// same key cannot both observe "new" and double-count the entry; the
+	// filesystem is the source of truth for what already existed.
+	s.mu.Lock()
+	_, statErr := os.Stat(final)
+	existed := statErr == nil
 	if err := os.Rename(name, final); err != nil {
+		s.mu.Unlock()
 		_ = os.Remove(name)
 		return fmt.Errorf("simcache: store write: %w", err)
 	}
-	s.mu.Lock()
 	if !existed {
 		s.account(tenant, int64(len(payload)), 1)
 	}
 	s.mu.Unlock()
 	return nil
-}
-
-// lookupLocked reports whether tenant already holds an entry for key.
-// It exists only to keep double-Puts from double-counting; the
-// filesystem is the source of truth.
-func (s *Store) lookupLocked(tenant, key string) (*TenantUsage, bool) {
-	u, ok := s.tenants[tenant]
-	if !ok {
-		return nil, false
-	}
-	if _, err := os.Stat(s.path(key)); err != nil {
-		return u, false
-	}
-	return u, true
 }
 
 // Get returns the stored payload for key. A missing entry is a plain

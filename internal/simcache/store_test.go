@@ -5,6 +5,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -37,6 +38,46 @@ func TestStorePutGetRoundTrip(t *testing.T) {
 	}
 	if len(st.Tenants) != 1 || st.Tenants[0].Tenant != "acme" || st.Tenants[0].SizeBytes != int64(len(payload)) {
 		t.Fatalf("tenant usage: %+v", st.Tenants)
+	}
+}
+
+// TestStoreConcurrentPutsAccountOnce races many Puts of one key: the
+// entry must be accounted exactly once, globally and per tenant, so
+// disk-quota checks don't see inflated usage until the next restart
+// scan. The existence check and rename share one critical section.
+func TestStoreConcurrentPutsAccountOnce(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"rows":[4,5,6]}`)
+	key := ResultKey("sweep", payload)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := s.Put(context.Background(), "acme", key, payload); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Entries != 1 || st.SizeBytes != int64(len(payload)) {
+		t.Fatalf("gauges after racing puts: %+v", st)
+	}
+	if b := s.TenantBytes("acme"); b != int64(len(payload)) {
+		t.Fatalf("tenant bytes after racing puts: %d, want %d", b, len(payload))
+	}
+	// The restart scan agrees with the incremental gauges.
+	s2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2 := s2.Stats(); st2.Entries != st.Entries || st2.SizeBytes != st.SizeBytes {
+		t.Fatalf("scan disagrees with gauges: %+v vs %+v", st2, st)
 	}
 }
 
