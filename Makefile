@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test lint staticcheck bench bench-engine bench-engine-smoke cluster-smoke advisor-smoke crash-smoke
+.PHONY: build test race lint staticcheck bench bench-engine bench-engine-smoke cluster-smoke advisor-smoke crash-smoke
 
 build:
 	$(GO) build ./...
@@ -8,9 +8,23 @@ build:
 test:
 	$(GO) test ./...
 
-# Determinism-and-safety lint suite (docs/LINT.md) plus go vet.
+# Whole-repo race gate: every package under the race detector, not
+# just the targeted smokes. CI runs this as its own job.
+race:
+	$(GO) test -race -timeout 10m ./...
+
+# Lint pipeline (docs/LINT.md): vet with the lock-copy and atomic
+# misuse analyzers called out explicitly (so a vet default change can
+# never silently drop them), then full vet, then staticcheck when
+# installed, then the repo's own ceslint suite.
 lint:
+	$(GO) vet -copylocks -atomic ./...
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs the pinned version)"; \
+	fi
 	$(GO) run ./cmd/ceslint ./...
 
 # staticcheck is version-pinned and run in CI (.github/workflows/ci.yml);
@@ -19,7 +33,7 @@ lint:
 staticcheck:
 	@command -v staticcheck >/dev/null 2>&1 || { \
 		echo "staticcheck not installed; in a networked environment:"; \
-		echo "  go install honnef.co/go/tools/cmd/staticcheck@2023.1.7"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@2024.1.1"; \
 		exit 1; }
 	staticcheck ./...
 

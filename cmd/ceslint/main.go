@@ -1,17 +1,24 @@
 // Command ceslint runs the repository's determinism-and-safety lint
-// suite (internal/lint): detrand, maporder, ctxflow and senterr, the
-// checks that keep simulation output a pure function of
-// (configuration, seed). See docs/LINT.md.
+// suite (internal/lint): the determinism checks (detrand, maporder,
+// ctxflow, senterr) that keep simulation output a pure function of
+// (configuration, seed), and the concurrency-and-durability checks
+// (lockcheck, durio, atomicfield, gorolife) that keep the service tier
+// honest about locks, fsync ordering and goroutine lifecycles. See
+// docs/LINT.md.
 //
 // Usage:
 //
-//	ceslint [-list] [packages...]
+//	ceslint [-list] [-json] [-only a,b] [packages...]
 //
-// Packages default to ./... relative to the enclosing module. Exit
-// status: 0 clean, 1 diagnostics reported, 2 operational failure.
+// Packages default to ./... relative to the enclosing module. -json
+// emits findings as a JSON array of {file,line,col,analyzer,message}
+// objects on stdout (an empty array when clean) for editor and CI
+// integration. Exit status: 0 clean, 1 diagnostics reported, 2
+// operational failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,15 @@ import (
 	"repro/internal/lint/runner"
 )
 
+// jsonFinding is the -json wire shape of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
@@ -31,6 +47,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("ceslint", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list analyzers and exit")
 	only := fs.String("only", "", "comma-separated analyzer names to run (default all)")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -86,8 +103,27 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "ceslint:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *asJSON {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				File:     d.Position.Filename,
+				Line:     d.Position.Line,
+				Col:      d.Position.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "ceslint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ceslint: %d finding(s)\n", len(diags))

@@ -1,10 +1,33 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it printed.
+func captureStdout(t *testing.T, fn func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	fn()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
 
 // TestRepositoryIsClean is the acceptance smoke test: the full analyzer
 // suite over the real module must report nothing. Equivalent to
@@ -15,9 +38,22 @@ func TestRepositoryIsClean(t *testing.T) {
 	}
 }
 
-func TestListExitsZero(t *testing.T) {
-	if code := run([]string{"-list"}); code != 0 {
+// TestListShowsAllAnalyzers pins the suite roster: -list must name
+// every analyzer, old and new, so a wiring mistake in lint.All cannot
+// silently drop a check from CI.
+func TestListShowsAllAnalyzers(t *testing.T) {
+	var code int
+	out := captureStdout(t, func() { code = run([]string{"-list"}) })
+	if code != 0 {
 		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{
+		"atomicfield", "ctxflow", "detrand", "durio",
+		"gorolife", "lockcheck", "maporder", "senterr",
+	} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("-list output missing analyzer %q:\n%s", name, out)
+		}
 	}
 }
 
@@ -83,5 +119,87 @@ func Match(err error) bool {
 `)
 	if code := run([]string{"./..."}); code != 0 {
 		t.Fatalf("fixed module exited %d, want 0", code)
+	}
+}
+
+// TestJSONOutput drives the -json contract on both sides: a seeded
+// violation yields one structured finding with resolved position and
+// analyzer name, and a clean run yields an empty (non-null) array.
+func TestJSONOutput(t *testing.T) {
+	root := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("q/q.go", `package q
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+func Match(err error) bool {
+	return err == ErrBoom
+}
+`)
+
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var code int
+	out := captureStdout(t, func() { code = run([]string{"-json", "./..."}) })
+	if code != 1 {
+		t.Fatalf("seeded violation with -json exited %d, want 1", code)
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("parse -json output: %v\n%s", err, out)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %+v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "senterr" || f.Line == 0 || f.Col == 0 || !strings.HasSuffix(f.File, "q.go") || f.Message == "" {
+		t.Fatalf("finding fields: %+v", f)
+	}
+
+	write("q/q.go", `package q
+
+import "errors"
+
+var ErrBoom = errors.New("boom")
+
+func Match(err error) bool {
+	return errors.Is(err, ErrBoom)
+}
+`)
+	out = captureStdout(t, func() { code = run([]string{"-json", "./..."}) })
+	if code != 0 {
+		t.Fatalf("clean module with -json exited %d, want 0", code)
+	}
+	if strings.TrimSpace(out) != "[]" {
+		t.Fatalf("clean -json output is not an empty array: %q", out)
 	}
 }

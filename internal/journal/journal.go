@@ -106,6 +106,9 @@ type Stats struct {
 	// Compacted counts pre-restart segments removed by CompactBefore
 	// after their contents were re-journaled through this writer.
 	Compacted uint64 `json:"compacted"`
+	// DirSyncs counts directory fsyncs issued after segment creation
+	// and compaction, making those directory-entry changes durable.
+	DirSyncs uint64 `json:"dir_syncs"`
 }
 
 // Writer appends records to the log. Construct with Open; methods are
@@ -130,6 +133,23 @@ type Writer struct {
 	rotations uint64
 	appendErr uint64
 	compacted uint64
+	dirSyncs  uint64
+}
+
+// syncDir fsyncs a directory so preceding creates, renames or removes
+// of its entries survive a crash: data fsyncs alone do not persist the
+// directory entry that names the file, and a crash between the two can
+// resurface a removed segment or drop a freshly created one.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Open creates dir if needed and opens a writer positioned after the
@@ -221,6 +241,17 @@ func (w *Writer) rotateLocked() error {
 	if err != nil {
 		return fmt.Errorf("journal: create segment: %w", err)
 	}
+	// Crash ordering: the directory entry naming the new segment must
+	// be durable before any record in it is — otherwise a crash after
+	// an acknowledged append could lose the whole segment while its
+	// predecessor's close is already on disk.
+	if err := syncDir(w.dir); err != nil {
+		if cerr := f.Close(); cerr != nil {
+			err = fmt.Errorf("%v; close: %v", err, cerr)
+		}
+		return fmt.Errorf("journal: create segment: %w", err)
+	}
+	w.dirSyncs++
 	w.f = f
 	w.segSize = 0
 	w.segCount++
@@ -335,6 +366,16 @@ func (w *Writer) CompactBefore() (int, error) {
 		w.segCount--
 		w.compacted++
 	}
+	// Crash ordering: the removals must reach the directory before the
+	// caller forgets the re-journaled state is self-contained — without
+	// this fsync a crash can resurface a removed segment, and replay
+	// would double-apply history the snapshot already contains.
+	if removed > 0 {
+		if err := syncDir(w.dir); err != nil {
+			return removed, fmt.Errorf("journal: compact: %w", err)
+		}
+		w.dirSyncs++
+	}
 	return removed, nil
 }
 
@@ -369,5 +410,6 @@ func (w *Writer) Stats() Stats {
 		Rotations:    w.rotations,
 		AppendErrors: w.appendErr,
 		Compacted:    w.compacted,
+		DirSyncs:     w.dirSyncs,
 	}
 }

@@ -479,3 +479,53 @@ func TestInjectedReplayFaultSurfaces(t *testing.T) {
 		t.Fatalf("armed replay returned %v, want injected fault", err)
 	}
 }
+
+// TestDirSyncsCounted pins the crash-ordering contract: every segment
+// create and every compaction must be followed by a directory fsync,
+// visible in Stats so an operator (and this test) can see the contract
+// holding. Open mints one segment; a forced rotation mints another;
+// CompactBefore's removal adds a third.
+func TestDirSyncsCounted(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Open(dir, Options{SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.DirSyncs != 1 {
+		t.Fatalf("dir syncs after open: %+v", st)
+	}
+	// SegmentBytes=1 forces a rotation on the second append.
+	for i := 0; i < 2; i++ {
+		if err := w.Append(context.Background(), []byte("r")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := w.Stats(); st.Rotations != 1 || st.DirSyncs != 2 {
+		t.Fatalf("dir syncs after rotation: %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(context.Background(), []byte("snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := w2.CompactBefore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("compacted %d segments, want 2", removed)
+	}
+	// One dir sync for w2's own segment create, one for the removals.
+	if st := w2.Stats(); st.DirSyncs != 2 {
+		t.Fatalf("dir syncs after compact: %+v", st)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

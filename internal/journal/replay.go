@@ -136,9 +136,13 @@ func truncateTornTail(path string, valid int64) error {
 // quarantine renames a damaged segment to <path>.corrupt so it is
 // excluded from every later replay, and counts it. The rename is
 // best-effort: a read-only filesystem still recovers, it just re-skips
-// the bytes next time.
+// the bytes next time. The directory fsync after the rename is
+// likewise best-effort, for the same reason — but when it does land it
+// keeps a crash from resurrecting the damaged name and re-feeding the
+// same bytes to every future replay.
 func quarantine(path string, st *ReplayStats) error {
 	st.Quarantined++
 	_ = os.Rename(path, path+".corrupt")
+	_ = syncDir(filepath.Dir(path))
 	return nil
 }

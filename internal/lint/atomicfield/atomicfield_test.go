@@ -1,0 +1,13 @@
+package atomicfield_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "a"), atomicfield.Analyzer)
+}

@@ -1,0 +1,57 @@
+// Package a is an atomicfield fixture: plain accesses of fields that
+// feed sync/atomic elsewhere must be flagged; consistent atomic use,
+// typed wrappers and untouched sibling fields must not.
+package a
+
+import "sync/atomic"
+
+type counters struct {
+	hits   uint64 // atomic
+	misses uint64 // atomic
+	plain  uint64 // never touched by sync/atomic: free to access
+	typed  atomic.Uint64
+}
+
+func (c *counters) hit() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counters) miss() {
+	atomic.AddUint64(&c.misses, 1)
+}
+
+func (c *counters) loadOK() uint64 {
+	return atomic.LoadUint64(&c.hits) + atomic.LoadUint64(&c.misses)
+}
+
+func (c *counters) racyRead() uint64 {
+	return c.hits // want "field hits is accessed through sync/atomic elsewhere"
+}
+
+func (c *counters) racyWrite() {
+	c.misses = 0 // want "field misses is accessed through sync/atomic elsewhere"
+}
+
+func (c *counters) racyIncrement() {
+	c.hits++ // want "field hits is accessed through sync/atomic elsewhere"
+}
+
+func (c *counters) plainOK() uint64 {
+	c.plain++
+	return c.plain
+}
+
+func (c *counters) typedOK() uint64 {
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+func (c *counters) suppressed() uint64 {
+	return c.hits //ceslint:allow atomicfield fixture proves the suppression path
+}
+
+// Construction through a composite literal names fields without
+// selecting them and is initialization, not a racy access.
+func fresh() *counters {
+	return &counters{hits: 0, misses: 0}
+}

@@ -1,0 +1,29 @@
+package durio_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/durio"
+)
+
+func TestDurio(t *testing.T) {
+	durio.Packages["d"] = true
+	defer delete(durio.Packages, "d")
+	analysistest.Run(t, filepath.Join("testdata", "src", "d"), durio.Analyzer)
+}
+
+func TestDurioJournalRules(t *testing.T) {
+	durio.Packages["dj"] = true
+	durio.JournalPackages["dj"] = true
+	defer delete(durio.Packages, "dj")
+	defer delete(durio.JournalPackages, "dj")
+	analysistest.Run(t, filepath.Join("testdata", "src", "dj"), durio.Analyzer)
+}
+
+func TestOutOfScopePackageIgnored(t *testing.T) {
+	if durio.Packages["d"] || durio.Packages["dj"] || durio.JournalPackages["dj"] {
+		t.Fatal("fixture path leaked into durio scope maps")
+	}
+}

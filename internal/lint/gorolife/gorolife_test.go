@@ -1,0 +1,21 @@
+package gorolife_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/gorolife"
+)
+
+func TestGorolife(t *testing.T) {
+	gorolife.Packages["g"] = true
+	defer delete(gorolife.Packages, "g")
+	analysistest.Run(t, filepath.Join("testdata", "src", "g"), gorolife.Analyzer)
+}
+
+func TestOutOfScopePackageIgnored(t *testing.T) {
+	if gorolife.Packages["g"] {
+		t.Fatal("fixture path leaked into gorolife scope map")
+	}
+}

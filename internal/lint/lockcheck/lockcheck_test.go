@@ -1,0 +1,21 @@
+package lockcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	lockcheck.Packages["l"] = true
+	defer delete(lockcheck.Packages, "l")
+	analysistest.Run(t, filepath.Join("testdata", "src", "l"), lockcheck.Analyzer)
+}
+
+func TestOutOfScopePackageIgnored(t *testing.T) {
+	if lockcheck.Packages["l"] {
+		t.Fatal("fixture path leaked into lockcheck.Packages")
+	}
+}

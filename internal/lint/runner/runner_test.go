@@ -9,7 +9,9 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/lint"
 	"repro/internal/lint/analysis"
+	"repro/internal/lint/atomicfield"
 	"repro/internal/lint/load"
 	"repro/internal/lint/runner"
 	"repro/internal/lint/senterr"
@@ -121,6 +123,73 @@ func f(err error) bool {
 	}
 	if !sawSenterr || !sawUnknown {
 		t.Fatalf("diags = %v", messages(diags))
+	}
+}
+
+// TestNewAnalyzerNamesKnownToDirectives pins the directive hygiene
+// contract for the concurrency-and-durability analyzers: a suppression
+// naming lockcheck, durio, gorolife or atomicfield is a known name
+// (never "unknown analyzer"), and when nothing fires it is reported as
+// unused like any other.
+func TestNewAnalyzerNamesKnownToDirectives(t *testing.T) {
+	diags := check(t, `package p
+
+//ceslint:allow lockcheck nothing here holds a lock
+func a() {}
+
+//ceslint:allow durio nothing here renames a file
+func b() {}
+
+//ceslint:allow gorolife nothing here spawns a goroutine
+func c() {}
+
+//ceslint:allow atomicfield nothing here touches an atomic field
+func d() {}
+`, lint.All()...)
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4 unused suppressions: %v", len(diags), messages(diags))
+	}
+	for _, d := range diags {
+		if d.Analyzer != "ceslint" || !strings.Contains(d.Message, "unused suppression") {
+			t.Fatalf("diags = %v", messages(diags))
+		}
+		if strings.Contains(d.Message, "unknown analyzer") {
+			t.Fatalf("new analyzer name treated as unknown: %v", messages(diags))
+		}
+	}
+}
+
+// TestNewAnalyzerMalformedReasonReported pins the mandatory-reason
+// rule for the new names.
+func TestNewAnalyzerMalformedReasonReported(t *testing.T) {
+	diags := check(t, `package p
+
+//ceslint:allow lockcheck
+func f() {}
+`, lint.All()...)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "reason is mandatory") {
+		t.Fatalf("diags = %v", messages(diags))
+	}
+}
+
+// TestAtomicFieldSuppressionConsumed exercises end-to-end suppression
+// of a new analyzer through the runner (atomicfield is module-wide, so
+// the scratch package is in scope without touching any scope map).
+func TestAtomicFieldSuppressionConsumed(t *testing.T) {
+	diags := check(t, `package p
+
+import "sync/atomic"
+
+type c struct{ n uint64 }
+
+func (x *c) inc() { atomic.AddUint64(&x.n, 1) }
+
+func (x *c) read() uint64 {
+	return x.n //ceslint:allow atomicfield unit test exercises suppression
+}
+`, atomicfield.Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("suppressed atomicfield diagnostic leaked: %v", messages(diags))
 	}
 }
 

@@ -74,6 +74,9 @@ type StoreStats struct {
 	// Quarantined counts corrupt entries renamed *.corrupt — by the
 	// startup scan or by a read that failed verification.
 	Quarantined uint64 `json:"quarantined"`
+	// DirSyncs counts shard-directory fsyncs issued after renames
+	// (publishes and quarantines), making those renames durable.
+	DirSyncs uint64 `json:"dir_syncs"`
 	// Tenants is the per-tenant resident footprint, sorted by name.
 	Tenants []TenantUsage `json:"tenants,omitempty"`
 }
@@ -100,6 +103,22 @@ type Store struct {
 	misses      uint64
 	writeErrors uint64
 	quarantined uint64
+	dirSyncs    uint64
+}
+
+// syncDir fsyncs a directory so a preceding rename of one of its
+// entries survives a crash: the file's own fsync persists the bytes,
+// but only a directory fsync persists the name now pointing at them.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // OpenStore creates dir if needed and runs the startup integrity scan:
@@ -153,6 +172,11 @@ func (s *Store) scan() error {
 			if err != nil {
 				s.quarantined++
 				_ = os.Rename(path, path+".corrupt")
+				// Best effort, like the rename: when it lands, a crash
+				// cannot resurrect the corrupt name for the next scan.
+				if syncDir(shardDir) == nil {
+					s.dirSyncs++
+				}
 				continue
 			}
 			s.account(tenant, int64(len(payload)), 1)
@@ -240,19 +264,21 @@ func (s *Store) put(ctx context.Context, tenant, key string, payload []byte) err
 			_ = os.Remove(tmp.Name())
 		}
 	}()
-	var hdr []byte
-	hdr = append(hdr, storeMagic...)
+	// One buffer, one Write: a crash between separate header and
+	// payload writes could leave a frame whose header describes bytes
+	// that never arrived, and the write syscall is the only boundary
+	// the kernel promises not to tear on the way to the page cache.
+	buf := make([]byte, 0, len(storeMagic)+2+len(tenant)+4+len(payload))
+	buf = append(buf, storeMagic...)
 	var tl [2]byte
 	binary.LittleEndian.PutUint16(tl[:], uint16(len(tenant)))
-	hdr = append(hdr, tl[:]...)
-	hdr = append(hdr, tenant...)
+	buf = append(buf, tl[:]...)
+	buf = append(buf, tenant...)
 	var crc [4]byte
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
-	hdr = append(hdr, crc[:]...)
-	if _, err := tmp.Write(hdr); err != nil {
-		return fmt.Errorf("simcache: store write: %w", err)
-	}
-	if _, err := tmp.Write(payload); err != nil {
+	buf = append(buf, crc[:]...)
+	buf = append(buf, payload...)
+	if _, err := tmp.Write(buf); err != nil {
 		return fmt.Errorf("simcache: store write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
@@ -280,6 +306,16 @@ func (s *Store) put(ctx context.Context, tenant, key string, payload []byte) err
 	if !existed {
 		s.account(tenant, int64(len(payload)), 1)
 	}
+	// Crash ordering: entry bytes → file fsync → rename → shard-dir
+	// fsync. Without the last step the rename lives only in the page
+	// cache and a crash can silently un-publish an acknowledged Put.
+	// Issued inside the critical section so the dirSyncs gauge moves
+	// with the rename it covers.
+	if err := syncDir(shardDir); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("simcache: store write: %w", err)
+	}
+	s.dirSyncs++
 	s.mu.Unlock()
 	return nil
 }
@@ -311,6 +347,11 @@ func (s *Store) Get(key string) ([]byte, bool) {
 				s.account(tenant, -payloadLen, -1)
 			}
 			_ = os.Rename(path, path+".corrupt")
+			// Best effort: a read-only filesystem still misses safely,
+			// but when the fsync lands the quarantine survives a crash.
+			if syncDir(filepath.Dir(path)) == nil {
+				s.dirSyncs++
+			}
 		}
 		return nil, false
 	}
@@ -365,6 +406,7 @@ func (s *Store) Stats() StoreStats {
 		Entries: s.entries, SizeBytes: s.size,
 		Puts: s.puts, Hits: s.hits, Misses: s.misses,
 		WriteErrors: s.writeErrors, Quarantined: s.quarantined,
+		DirSyncs: s.dirSyncs,
 	}
 	names := make([]string, 0, len(s.tenants))
 	for name := range s.tenants {

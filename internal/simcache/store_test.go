@@ -301,3 +301,48 @@ func TestStoreRejectsHostileKeys(t *testing.T) {
 		}
 	}
 }
+
+// TestStoreDirSyncsCounted pins the publish ordering: a successful Put
+// must fsync the shard directory after the rename (counted in
+// DirSyncs), a Put that fails at the injected write fault must not
+// reach the directory sync, and a quarantining Get adds one more.
+func TestStoreDirSyncsCounted(t *testing.T) {
+	t.Cleanup(faultinject.Disarm)
+	s := openStore(t)
+	payload := []byte(`{"rows":[7]}`)
+	key := ResultKey("sweep", payload)
+	if err := s.Put(context.Background(), "acme", key, payload); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.DirSyncs != 1 {
+		t.Fatalf("dir syncs after put: %+v", st)
+	}
+
+	// A faulted Put fails before the temp file exists: no rename, so
+	// no directory sync either.
+	if err := faultinject.Arm(faultinject.Plan{
+		faultinject.SiteStoreWrite: {Kind: faultinject.KindError, Probability: 1, Count: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	key2 := ResultKey("sweep", []byte("faulted"))
+	if err := s.Put(context.Background(), "acme", key2, []byte("x")); err == nil {
+		t.Fatal("armed put did not fail")
+	}
+	if st := s.Stats(); st.DirSyncs != 1 || st.WriteErrors != 1 {
+		t.Fatalf("dir syncs after faulted put: %+v", st)
+	}
+
+	// Corrupt the entry on disk: the quarantining Get renames it and
+	// syncs the shard directory again.
+	path := s.path(key)
+	if err := os.WriteFile(path, []byte("CESR1\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if st := s.Stats(); st.DirSyncs != 2 || st.Quarantined != 1 {
+		t.Fatalf("dir syncs after quarantine: %+v", st)
+	}
+}
