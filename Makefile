@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race lint staticcheck bench bench-engine bench-engine-smoke cluster-smoke advisor-smoke crash-smoke
+.PHONY: build test race lint staticcheck bench bench-engine bench-engine-smoke cluster-smoke advisor-smoke crash-smoke faultmix-smoke
 
 build:
 	$(GO) build ./...
@@ -68,6 +68,17 @@ cluster-smoke:
 advisor-smoke:
 	$(GO) test -race -count=1 -run 'TestAdvisorSmokeGolden|TestAdviseIngestChaos' ./internal/server/
 	$(GO) test -race -count=1 -run 'TestRecommendDeterminismPermutedBatches' ./internal/advise/
+
+# Fault-mix smoke (docs/FAULTMODEL.md): a fixed-seed run of the two
+# fault-mix figures byte-compared against the committed golden, the
+# rerun bit-identity drill, and the mixture determinism contract
+# (permuted mode order, shared-process goroutines) under the race
+# detector. Regenerate the golden after an intentional model change:
+#   go test -run TestFaultMixSmokeGolden ./internal/core/ -update-faultmix-golden
+faultmix-smoke:
+	$(GO) test -race -count=1 -run 'TestFaultMixSmokeGolden|TestFaultMixFiguresBitIdentical' ./internal/core/
+	$(GO) test -race -count=1 -run 'TestPermutedModesBitIdentical|TestDeterministicReplay|TestProcessSharedAcrossGoroutines|TestAppendGapsMatchesNextGap' ./internal/faultmodel/
+	$(GO) test -race -count=1 -run 'TestClosedLoop' ./internal/advise/
 
 # Kill-and-restart acceptance (docs/DURABILITY.md): build the real
 # cesimd binary, SIGKILL it mid-campaign (standalone with a journaled

@@ -13,9 +13,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultmodel"
 	"repro/internal/noise"
 	"repro/internal/report"
 	"repro/internal/systems"
@@ -30,6 +32,7 @@ func main() {
 		perEvent = flag.Duration("perevent", 0, "per-CE handling time (e.g. 133ms); 0 with -mode uses the named scenario")
 		system   = flag.String("system", "", "Table II system supplying the MTBCE (e.g. exascale-cielo-x10)")
 		mode     = flag.String("mode", "", "logging mode supplying the per-event cost (hardware-only, software-cmci, firmware-emca)")
+		faultMix = flag.String("fault-mix", "", "fault-mode mixture replacing the Poisson arrivals: a preset name (field-ddr4, high-altitude, skewed-dimms, bursty-row) or a JSON spec file (docs/FAULTMODEL.md)")
 		target   = flag.Int("target", int(noise.AllNodes), "node experiencing CEs, or -1 for all nodes")
 		seed     = flag.Uint64("seed", 1, "base random seed")
 		reps     = flag.Int("reps", 3, "repetitions (distinct CE schedules)")
@@ -40,10 +43,21 @@ func main() {
 	// Validate every flag combination before any pipeline work, so a
 	// bad invocation dies with one clear line instead of whatever the
 	// trace generator or noise model reports downstream.
-	if err := validateFlags(*workload, *nodes, *iters, *mtbce, *perEvent, *system, *mode, *target, *reps); err != nil {
+	mixSpec, err := resolveFaultMix(*faultMix)
+	if err != nil {
+		fatal(fmt.Errorf("cesim: %w", err))
+	}
+	mixMTBCE := int64(0)
+	if mixSpec != nil {
+		mixMTBCE = mixSpec.MTBCENanos
+	}
+	if err := validateFlags(*workload, *nodes, *iters, *mtbce, *perEvent, *system, *mode, *target, *reps, mixMTBCE); err != nil {
 		fatal(fmt.Errorf("cesim: %w", err))
 	}
 	mtbceNanos := int64(*mtbce)
+	if mixMTBCE != 0 {
+		mtbceNanos = mixMTBCE
+	}
 	if *system != "" {
 		sys, err := systems.ByName(*system)
 		if err != nil {
@@ -60,6 +74,15 @@ func main() {
 		perEventNanos = m.PerEventNanos
 	}
 
+	var arrivals noise.Arrivals
+	if mixSpec != nil {
+		proc, err := mixSpec.WithMTBCE(mtbceNanos).Process()
+		if err != nil {
+			fatal(fmt.Errorf("cesim: -fault-mix: %w", err))
+		}
+		arrivals = proc
+	}
+
 	exp, err := core.NewExperiment(core.ExperimentConfig{
 		Workload: *workload, Nodes: *nodes, Iterations: *iters, TraceSeed: *seed,
 	})
@@ -69,6 +92,7 @@ func main() {
 	start := time.Now()
 	rep, err := exp.RunRepeated(core.Scenario{
 		MTBCE:    mtbceNanos,
+		Arrivals: arrivals,
 		PerEvent: noise.Fixed(perEventNanos),
 		Target:   int32(*target),
 		Seed:     *seed + 1,
@@ -84,6 +108,9 @@ func main() {
 	t.AddRow("baseline-makespan", report.Nanos(exp.Baseline().Makespan))
 	t.AddRow("mtbce-node", report.Nanos(mtbceNanos))
 	t.AddRow("per-event", report.Nanos(perEventNanos))
+	if arrivals != nil {
+		t.AddRow("fault-mix", arrivals.String())
+	}
 	if rep.Saturated && rep.Sample.N() == 0 {
 		t.AddRow("slowdown", "no-progress (CE load >= 1)")
 	} else {
@@ -107,8 +134,32 @@ func main() {
 	}
 }
 
+// resolveFaultMix turns the -fault-mix argument into a mixture spec:
+// empty means none, a systems preset name wins over a file, anything
+// else is read as a JSON spec file.
+func resolveFaultMix(arg string) (*faultmodel.Spec, error) {
+	if arg == "" {
+		return nil, nil
+	}
+	if mix, err := systems.FaultMixByName(arg); err == nil {
+		return &mix.Spec, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-mix %q is neither a preset (%s) nor a readable spec file: %v",
+			arg, strings.Join(systems.FaultMixNames(), ", "), err)
+	}
+	s, err := faultmodel.ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-mix %s: %w", arg, err)
+	}
+	return &s, nil
+}
+
 // validateFlags rejects inconsistent flag combinations up front.
-func validateFlags(workload string, nodes, iters int, mtbce, perEvent time.Duration, system, mode string, target, reps int) error {
+// mixMTBCE is the mtbce_ns carried by a -fault-mix spec (0 when absent),
+// which can stand in for -mtbce/-system.
+func validateFlags(workload string, nodes, iters int, mtbce, perEvent time.Duration, system, mode string, target, reps int, mixMTBCE int64) error {
 	if workload == "" {
 		return fmt.Errorf("-workload is required")
 	}
@@ -119,10 +170,12 @@ func validateFlags(workload string, nodes, iters int, mtbce, perEvent time.Durat
 		return fmt.Errorf("-iters must be at least 1, got %d", iters)
 	}
 	switch {
-	case mtbce == 0 && system == "":
-		return fmt.Errorf("provide -mtbce or -system")
+	case mtbce == 0 && system == "" && mixMTBCE == 0:
+		return fmt.Errorf("provide -mtbce, -system, or a -fault-mix spec carrying mtbce_ns")
 	case mtbce != 0 && system != "":
 		return fmt.Errorf("-mtbce and -system are mutually exclusive")
+	case mixMTBCE != 0 && (mtbce != 0 || system != ""):
+		return fmt.Errorf("the -fault-mix spec carries mtbce_ns; don't also set -mtbce or -system")
 	case mtbce < 0:
 		return fmt.Errorf("-mtbce must be positive, got %s", mtbce)
 	}

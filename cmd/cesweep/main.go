@@ -30,7 +30,7 @@ import (
 
 func main() {
 	var (
-		figure    = flag.String("figure", "", "figure to regenerate: 2, 3, 4, 5, 6 or 7")
+		figure    = flag.String("figure", "", "figure to regenerate: 2, 3, 4, 5, 6, 7, 8 or 9")
 		table     = flag.String("table", "", "table to regenerate: 2")
 		surface   = flag.String("surface", "", "workload for a full (MTBCE x duration) overhead surface (Fig. 7 generalization)")
 		scale     = flag.String("scale", "reduced", "reduced (scale-compensated) or paper (Table II node counts)")
@@ -41,7 +41,7 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset")
 		csvOut    = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonOut   = flag.Bool("json", false, "emit JSON instead of an aligned table (figures only)")
-		clusterAt = flag.String("cluster", "", "coordinator URL: run the figure sweep on a cesimd cluster (figures 3-7)")
+		clusterAt = flag.String("cluster", "", "coordinator URL: run the figure sweep on a cesimd cluster (figures 3-9)")
 	)
 	flag.Parse()
 
@@ -55,13 +55,13 @@ func main() {
 		fatal(fmt.Errorf("cesweep: pass exactly one of -figure, -table or -surface"))
 	}
 
-	// Only the sweep figures (3-7) shard into (figure x workload) cells;
+	// Only the sweep figures (3-9) shard into (figure x workload) cells;
 	// Table II, Figure 2 and surfaces are single local computations.
 	if *clusterAt != "" && *figure == "" {
 		fatal(fmt.Errorf("cesweep: -cluster only applies to -figure sweeps"))
 	}
 	if *clusterAt != "" && *figure == "2" {
-		fatal(fmt.Errorf("cesweep: figure 2 is a single local run; -cluster needs figures 3-7"))
+		fatal(fmt.Errorf("cesweep: figure 2 is a single local run; -cluster needs figures 3-9"))
 	}
 
 	if *table != "" {

@@ -45,7 +45,7 @@ func main() {
 		cfg.Only = strings.Split(*only, ",")
 	}
 	if *atURL != "" {
-		// Figures 3-7 shard across the cluster; Table II and Figure 2
+		// Figures 3-9 shard across the cluster; Table II and Figure 2
 		// still run locally. Output stays byte-identical either way.
 		cfg.Runner = &cluster.Client{Base: *atURL}
 	}

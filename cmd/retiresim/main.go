@@ -9,15 +9,19 @@
 //	retiresim -threshold 1 -maxpages 128
 //	retiresim -faults 60 -cerate 2.5 -years 5  # a very unhealthy node
 //	retiresim -sweep                           # threshold sweep table
+//	retiresim -fault-mix field-ddr4            # weights from a faultmodel preset
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"repro/internal/faultmodel"
 	"repro/internal/report"
 	"repro/internal/retire"
+	"repro/internal/systems"
 )
 
 func main() {
@@ -29,6 +33,7 @@ func main() {
 		maxPages  = flag.Int("maxpages", 64, "page retirement budget")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		sweep     = flag.Bool("sweep", false, "sweep retirement thresholds instead of one run")
+		faultMix  = flag.String("fault-mix", "", "fault-mix preset name or JSON spec file; its mode weights replace the Cielo-like mix")
 	)
 	flag.Parse()
 
@@ -38,6 +43,17 @@ func main() {
 		Hours:           hours,
 		FaultsPerYear:   *faults,
 		CEsPerFaultHour: *ceRate,
+	}
+	if *faultMix != "" {
+		spec, err := resolveFaultMix(*faultMix)
+		if err != nil {
+			fatal(err)
+		}
+		mix, err := mixFromSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		base.Mix = mix
 	}
 
 	if *sweep {
@@ -87,6 +103,45 @@ func main() {
 	if err := t.WriteASCII(os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// resolveFaultMix interprets the -fault-mix argument the same way cesim
+// does: a catalog preset name wins, anything else is read as a JSON spec
+// file.
+func resolveFaultMix(arg string) (*faultmodel.Spec, error) {
+	if fm, err := systems.FaultMixByName(arg); err == nil {
+		spec := fm.Spec
+		return &spec, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("-fault-mix %q is neither a preset (%s) nor a readable spec file: %v",
+			arg, strings.Join(systems.FaultMixNames(), ", "), err)
+	}
+	spec, err := faultmodel.ParseSpec(data)
+	if err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// mixFromSpec folds a faultmodel mixture onto retire's per-kind weights:
+// transient and permanent modes of the same kind sum. The burst shape
+// and skew of the mixture do not map onto retire's fault-population
+// model, so only the composition carries over.
+func mixFromSpec(spec *faultmodel.Spec) (retire.Mix, error) {
+	var mix retire.Mix
+	if err := spec.Validate(); err != nil {
+		return mix, err
+	}
+	for _, m := range spec.Modes {
+		kind, err := retire.ParseKind(m.Kind)
+		if err != nil {
+			return mix, err
+		}
+		mix[kind] += m.Weight
+	}
+	return mix, nil
 }
 
 func fatal(err error) {

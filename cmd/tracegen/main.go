@@ -9,17 +9,23 @@
 //	tracegen -i lulesh.trace -extrapolate 128 -o lulesh-16000.trace
 //	tracegen -workload hpcg -nodes 64 -format text -o hpcg.txt
 //	tracegen -i hpcg.txt -expand -stats
+//	tracegen -fault-mix field-ddr4 -ce-events 512 -o ces.ndjson
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/collectives"
 	"repro/internal/extrapolate"
+	"repro/internal/faultmodel"
 	"repro/internal/report"
+	"repro/internal/systems"
 	"repro/internal/trace"
 	"repro/internal/traceanalysis"
 	"repro/internal/tracegen"
@@ -39,8 +45,32 @@ func main() {
 		expand   = flag.Bool("expand", false, "expand collectives into point-to-point schedules")
 		stat     = flag.Bool("stats", false, "print trace statistics")
 		analyze  = flag.Bool("analyze", false, "print CE-sensitivity analysis (collective cadence, volumes, imbalance)")
+		faultMix = flag.String("fault-mix", "", "export a fault-mix CE event stream (advisor NDJSON) instead of a workload trace: preset name or JSON spec file")
+		ceEvents = flag.Int("ce-events", 256, "CE events to export with -fault-mix")
+		ceNodes  = flag.Int("ce-nodes", 1, "nodes to export with -fault-mix (ids 0..n-1)")
+		ceMTBCE  = flag.Duration("ce-mtbce", time.Hour, "aggregate per-node MTBCE for -fault-mix when the spec carries no mtbce_ns")
+		ceTenant = flag.String("ce-tenant", "tracegen", "tenant stamped on exported CE events (advisor ingest requires one)")
 	)
 	flag.Parse()
+
+	if *faultMix != "" {
+		if *workload != "" || *input != "" || *list {
+			fatal(fmt.Errorf("tracegen: -fault-mix is a CE event export; it excludes -workload, -i and -list"))
+		}
+		if *ceEvents < 1 {
+			fatal(fmt.Errorf("tracegen: -ce-events must be at least 1, got %d", *ceEvents))
+		}
+		if *ceNodes < 1 {
+			fatal(fmt.Errorf("tracegen: -ce-nodes must be at least 1, got %d", *ceNodes))
+		}
+		if *ceMTBCE <= 0 {
+			fatal(fmt.Errorf("tracegen: -ce-mtbce must be positive, got %s", *ceMTBCE))
+		}
+		if err := exportFaultMix(*faultMix, *output, *ceTenant, *ceEvents, *ceNodes, int64(*ceMTBCE), *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		t := report.New("workloads (Table I)",
@@ -169,6 +199,86 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "tracegen: wrote %s (%d ranks, %d ops)\n", *output, tr.NumRanks(), tr.NumOps())
 	}
+}
+
+// exportFaultMix writes per-node CE events generated by a fault-mix
+// spec as advisor-ingest NDJSON ({"node","ts_ns","addr","bank","synd"}
+// lines), ready for POST /v1/advise/ingest. The syndrome field carries
+// the generating mode, so classifier output can be scored against
+// ground truth.
+func exportFaultMix(arg, output, tenant string, events, nodes int, mtbceNanos int64, seed uint64) error {
+	if tenant == "" {
+		return fmt.Errorf("tracegen: -ce-tenant must not be empty")
+	}
+	spec, err := resolveFaultMix(arg)
+	if err != nil {
+		return err
+	}
+	s := spec.WithMTBCE(mtbceNanos)
+	var w io.Writer = os.Stdout
+	if output != "" {
+		f, err := os.Create(output)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	type line struct {
+		Tenant    string `json:"tenant"`
+		Node      string `json:"node"`
+		TimeNanos int64  `json:"ts_ns"`
+		Addr      uint64 `json:"addr"`
+		Bank      int    `json:"bank"`
+		Syndrome  string `json:"synd"`
+	}
+	total := 0
+	for node := 0; node < nodes; node++ {
+		evs, err := s.Events(seed, uint64(node), events)
+		if err != nil {
+			return err
+		}
+		for _, e := range evs {
+			synd := e.Kind.String()
+			if e.Transient {
+				synd += "-transient"
+			}
+			if err := enc.Encode(line{
+				Tenant:    tenant,
+				Node:      fmt.Sprintf("node-%d", node),
+				TimeNanos: e.TimeNanos,
+				Addr:      e.Addr,
+				Bank:      e.Bank,
+				Syndrome:  synd,
+			}); err != nil {
+				return err
+			}
+			total++
+		}
+	}
+	if output != "" {
+		fmt.Fprintf(os.Stderr, "tracegen: wrote %s (%d CE events, %d nodes, mix %s)\n", output, total, nodes, s)
+	}
+	return nil
+}
+
+// resolveFaultMix mirrors cmd/cesim's convention: a systems preset name
+// wins over a file, anything else is read as a JSON spec file.
+func resolveFaultMix(arg string) (faultmodel.Spec, error) {
+	if mix, err := systems.FaultMixByName(arg); err == nil {
+		return mix.Spec, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return faultmodel.Spec{}, fmt.Errorf("tracegen: -fault-mix %q is neither a preset (%s) nor a readable spec file: %v",
+			arg, strings.Join(systems.FaultMixNames(), ", "), err)
+	}
+	s, err := faultmodel.ParseSpec(data)
+	if err != nil {
+		return faultmodel.Spec{}, fmt.Errorf("tracegen: -fault-mix %s: %w", arg, err)
+	}
+	return s, nil
 }
 
 func fatal(err error) {

@@ -34,7 +34,7 @@ type Config struct {
 	OutDir string
 	// Options are passed to every figure driver.
 	Options core.Options
-	// Only restricts the run to these figure ids ("2".."7"); empty
+	// Only restricts the run to these figure ids ("2".."9"); empty
 	// means everything. Table II is always produced (it is free).
 	Only []string
 	// Log receives progress lines; nil discards them.

@@ -166,6 +166,35 @@ func TestDistributedCampaignBitIdentical(t *testing.T) {
 	}
 }
 
+// TestDistributedFaultMixBitIdentical extends the bit-identity
+// acceptance to the fault-mix figures: fig8 rebuilds a faultmodel
+// mixture process per row and fig9 recomputes its storm-derived
+// per-event costs inside every cell, so a distributed run only matches
+// the sequential one if both are pure functions of (options, seed).
+func TestDistributedFaultMixBitIdentical(t *testing.T) {
+	only := []string{"8", "9"}
+	seqDir := t.TempDir()
+	if _, err := campaign.Run(campaign.Config{OutDir: seqDir, Options: tinyOpts(), Only: only}); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts := startCoordinator(t, Config{StealAfter: 100 * time.Millisecond})
+	startWorker(t, ts.URL)
+	startWorker(t, ts.URL)
+
+	distDir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	_, err := campaign.RunContext(ctx, campaign.Config{
+		OutDir: distDir, Options: tinyOpts(), Only: only,
+		Runner: &Client{Base: ts.URL, Poll: 10 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareDirs(t, seqDir, distDir)
+}
+
 // TestDistributedSweepUnderShardFaults arms the cluster.shard site so
 // shard attempts panic inside the worker's jobs queue. Local retries
 // (and, when those exhaust, coordinator re-offers) must heal every
@@ -368,7 +397,7 @@ func TestRequestIDsFlowThroughCluster(t *testing.T) {
 	ctx := server.WithRequestID(context.Background(), "sweep-rid-9")
 	var created sweepCreated
 	err := postJSON(ctx, ts.Client(), ts.URL+"/cluster/sweep",
-		Spec{Figures: []string{"9"}}, &created)
+		Spec{Figures: []string{"12"}}, &created)
 	if err == nil {
 		t.Fatal("invalid sweep accepted")
 	}

@@ -6,7 +6,7 @@
 //
 // Determinism argument, in one paragraph: a sweep cell is one figure
 // driver invocation restricted to a single workload. The drivers
-// (core.Figure3..7) iterate workloads in their outermost loop and
+// (core.Figure3..9) iterate workloads in their outermost loop and
 // derive every scenario seed from Options.Seed alone — never from the
 // workload's position — so the rows a cell produces are exactly the
 // rows the full sequential run produces for that workload, whatever
@@ -34,7 +34,7 @@ import (
 // core.Options that affect results, so a sequential run with the same
 // options is bit-comparable.
 type Spec struct {
-	// Figures lists the figure ids ("3".."7"); empty selects all five.
+	// Figures lists the figure ids ("3".."9"); empty selects all seven.
 	Figures []string `json:"figures,omitempty"`
 	// Scale is "reduced" (default) or "paper".
 	Scale string `json:"scale,omitempty"`
@@ -77,7 +77,7 @@ func (s Spec) Validate() error {
 	}
 	for _, id := range s.Figures {
 		if _, ok := core.Figures()[id]; !ok {
-			return fmt.Errorf("cluster: unknown figure %q (want 3..7)", id)
+			return fmt.Errorf("cluster: unknown figure %q (want 3..9)", id)
 		}
 	}
 	for _, wl := range s.Workloads {

@@ -27,7 +27,7 @@ func TestCellsDeterministicOrder(t *testing.T) {
 
 func TestCellsDefaults(t *testing.T) {
 	cells := Spec{}.Cells()
-	wantLen := 5 * len(tracegen.Names()) // figures 3..7 x full catalog
+	wantLen := 7 * len(tracegen.Names()) // figures 3..9 x full catalog
 	if len(cells) != wantLen {
 		t.Fatalf("default plan has %d cells, want %d", len(cells), wantLen)
 	}

@@ -492,5 +492,7 @@ func Figures() map[string]func(Options) (*Figure, error) {
 		"5": Figure5,
 		"6": Figure6,
 		"7": Figure7,
+		"8": Figure8,
+		"9": Figure9,
 	}
 }

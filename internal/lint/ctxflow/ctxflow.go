@@ -38,15 +38,16 @@ var Analyzer = &analysis.Analyzer{
 // Packages scopes the check to the request path. Tests may add fixture
 // paths.
 var Packages = map[string]bool{
-	"repro/internal/server":   true,
-	"repro/internal/jobs":     true,
-	"repro/internal/simcache": true,
-	"repro/internal/core":     true,
-	"repro/internal/campaign": true,
-	"repro/internal/cluster":  true,
-	"repro/internal/advise":   true,
-	"repro/internal/journal":  true,
-	"repro/internal/tenant":   true,
+	"repro/internal/server":     true,
+	"repro/internal/jobs":       true,
+	"repro/internal/simcache":   true,
+	"repro/internal/core":       true,
+	"repro/internal/campaign":   true,
+	"repro/internal/cluster":    true,
+	"repro/internal/advise":     true,
+	"repro/internal/faultmodel": true,
+	"repro/internal/journal":    true,
+	"repro/internal/tenant":     true,
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {

@@ -47,6 +47,7 @@ var DeterministicPackages = map[string]bool{
 	"repro/internal/core":        true,
 	"repro/internal/mca":         true,
 	"repro/internal/advise":      true,
+	"repro/internal/faultmodel":  true,
 	"repro/internal/journal":     true,
 }
 

@@ -50,6 +50,7 @@ var Packages = map[string]bool{
 	"repro/internal/systems":     true,
 	"repro/internal/cluster":     true,
 	"repro/internal/advise":      true,
+	"repro/internal/faultmodel":  true,
 	"repro/internal/journal":     true,
 	"repro/internal/tenant":      true,
 }

@@ -29,6 +29,17 @@ type GapBatcher interface {
 	AppendGaps(dst []int64, src *rng.Source, state *uint64, n int) []int64
 }
 
+// ComponentGapper is implemented by composite arrival processes (such
+// as fault-mode mixtures) whose components renew at different time
+// scales. MaxComponentMeanGap returns the mean inter-arrival time of
+// the slowest component. CE calibrates its saturation guard to this
+// instead of the combined MeanGap: the combined mean is dominated by
+// the fastest component, so a legitimate burst train from a rare slow
+// mode could otherwise be misread as saturation.
+type ComponentGapper interface {
+	MaxComponentMeanGap() float64
+}
+
 // Poisson is the paper's arrival model: exponential inter-arrivals with
 // the given mean (MTBCE), i.e. a homogeneous Poisson process.
 type Poisson int64

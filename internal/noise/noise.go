@@ -240,9 +240,11 @@ type CE struct {
 	// time: the process implements GapBatcher and the duration model
 	// draws no randomness, so prefetching cannot reorder the stream.
 	batcher GapBatcher
-	// meanGap is arr.MeanGap() truncated to ns, cached so the
-	// saturation guard does not re-derive it (a float call, and for
-	// Weibull a Gamma evaluation) on every Extend.
+	// meanGap is the guard gap for saturation analysis, cached so
+	// Extend does not re-derive it (a float call, and for Weibull a
+	// Gamma evaluation) per interval: arr.MeanGap() truncated to ns,
+	// raised to the slowest component's mean for composite processes
+	// (see ComponentGapper).
 	meanGap int64
 	// nodes is indexed by node id; states are created on first use.
 	nodes []nodeState
@@ -267,6 +269,14 @@ func NewCE(n int, cfg Config) (*CE, error) {
 	}
 	m := &CE{cfg: cfg, arr: cfg.arrivals(), nodes: make([]nodeState, n)}
 	m.meanGap = int64(m.arr.MeanGap())
+	if cg, ok := m.arr.(ComponentGapper); ok {
+		// A mixture's combined mean gap is dominated by its fastest
+		// mode; guard against the slowest one so a rare mode's burst
+		// train is not misread as saturation.
+		if g := int64(cg.MaxComponentMeanGap()); g > m.meanGap {
+			m.meanGap = g
+		}
+	}
 	if b, ok := m.arr.(GapBatcher); ok && !cfg.DisableBatch {
 		if _, free := cfg.Duration.(rngFreeDuration); free {
 			m.batcher = b

@@ -7,7 +7,7 @@
 // Endpoints:
 //
 //	POST /v1/simulate          submit one (workload, scale, CE scenario) job
-//	POST /v1/sweep             submit a figure regeneration job ("3".."7")
+//	POST /v1/sweep             submit a figure regeneration job ("3".."9")
 //	GET  /v1/jobs/{id}         poll a job; DELETE cancels it
 //	GET  /v1/systems           Table II catalog and logging modes
 //	GET  /v1/workloads         workload skeletons
@@ -28,11 +28,13 @@ import (
 	"log"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/advise"
 	"repro/internal/core"
 	"repro/internal/faultinject"
+	"repro/internal/faultmodel"
 	"repro/internal/jobs"
 	"repro/internal/journal"
 	"repro/internal/noise"
@@ -419,6 +421,13 @@ type SimulateRequest struct {
 	Mode string `json:"mode,omitempty"`
 	// PerEventNanos is the per-CE handling time.
 	PerEventNanos int64 `json:"per_event_ns,omitempty"`
+	// FaultMix is an inline fault-mode mixture spec replacing the
+	// homogeneous Poisson arrival process (docs/FAULTMODEL.md). The
+	// scenario's MTBCE supplies the aggregate rate unless the spec
+	// carries its own mtbce_ns. Mutually exclusive with FaultMixPreset.
+	FaultMix *faultmodel.Spec `json:"fault_mix,omitempty"`
+	// FaultMixPreset names a systems.FaultMixes preset composition.
+	FaultMixPreset string `json:"fault_mix_preset,omitempty"`
 	// Target is the node experiencing CEs; nil or -1 means all nodes.
 	Target *int32 `json:"target,omitempty"`
 	// Seed defaults to 1.
@@ -442,12 +451,15 @@ type SlowdownJSON struct {
 
 // SimulateResult is a simulate job's stored result.
 type SimulateResult struct {
-	Workload              string        `json:"workload"`
-	Nodes                 int           `json:"nodes"`
-	Ranks                 int           `json:"ranks"`
-	Iters                 int           `json:"iters"`
-	MTBCENanos            int64         `json:"mtbce_ns"`
-	PerEventNanos         int64         `json:"per_event_ns"`
+	Workload      string `json:"workload"`
+	Nodes         int    `json:"nodes"`
+	Ranks         int    `json:"ranks"`
+	Iters         int    `json:"iters"`
+	MTBCENanos    int64  `json:"mtbce_ns"`
+	PerEventNanos int64  `json:"per_event_ns"`
+	// FaultMix echoes the resolved mixture composition (the canonical
+	// faultmodel label) when the scenario replaced the Poisson process.
+	FaultMix              string        `json:"fault_mix,omitempty"`
 	Target                int32         `json:"target"`
 	Reps                  int           `json:"reps"`
 	BaselineMakespanNanos int64         `json:"baseline_makespan_ns"`
@@ -496,10 +508,26 @@ func (s *Server) resolve(req *SimulateRequest) (core.ExperimentConfig, core.Scen
 		req.Seed = 1
 	}
 
+	var mixSpec *faultmodel.Spec
+	switch {
+	case req.FaultMix != nil && req.FaultMixPreset != "":
+		return zc, zs, fmt.Errorf("set fault_mix or fault_mix_preset, not both")
+	case req.FaultMixPreset != "":
+		mix, err := systems.FaultMixByName(req.FaultMixPreset)
+		if err != nil {
+			return zc, zs, fmt.Errorf("unknown fault mix %q (want %s)", req.FaultMixPreset, strings.Join(systems.FaultMixNames(), ", "))
+		}
+		mixSpec = &mix.Spec
+	case req.FaultMix != nil:
+		mixSpec = req.FaultMix
+	}
+
 	mtbce := req.MTBCENanos
 	switch {
 	case req.System != "" && req.MTBCENanos != 0:
 		return zc, zs, fmt.Errorf("set system or mtbce_ns, not both")
+	case mixSpec != nil && mixSpec.MTBCENanos != 0 && (req.System != "" || req.MTBCENanos != 0):
+		return zc, zs, fmt.Errorf("the fault mix carries mtbce_ns; don't also set system or mtbce_ns")
 	case req.System != "":
 		sys, err := systems.ByName(req.System)
 		if err != nil {
@@ -507,7 +535,10 @@ func (s *Server) resolve(req *SimulateRequest) (core.ExperimentConfig, core.Scen
 		}
 		mtbce = sys.MTBCENanos()
 	case req.MTBCENanos <= 0:
-		return zc, zs, fmt.Errorf("provide a positive mtbce_ns or a system name")
+		if mixSpec == nil || mixSpec.MTBCENanos <= 0 {
+			return zc, zs, fmt.Errorf("provide a positive mtbce_ns, a system name, or a fault mix carrying mtbce_ns")
+		}
+		mtbce = mixSpec.MTBCENanos
 	}
 
 	perEvent := req.PerEventNanos
@@ -540,6 +571,16 @@ func (s *Server) resolve(req *SimulateRequest) (core.ExperimentConfig, core.Scen
 		PerEvent: noise.Fixed(perEvent),
 		Target:   target,
 		Seed:     req.Seed + 1, // cmd/cesim offsets the CE seed the same way
+	}
+	if mixSpec != nil {
+		// Journal recovery re-resolves the typed request through this
+		// same path, so the rebuilt process is bit-identical to the
+		// original submission's.
+		proc, err := mixSpec.WithMTBCE(mtbce).Process()
+		if err != nil {
+			return zc, zs, fmt.Errorf("fault mix: %v", err)
+		}
+		sc.Arrivals = proc
 	}
 	return cfg, sc, nil
 }
@@ -680,10 +721,15 @@ func (s *Server) simulateFunc(cfg core.ExperimentConfig, sc core.Scenario, req S
 		s.metrics.Observe(StageScenarios, scenariosWall)
 		s.metrics.Observe(StageJob, time.Since(jobStart))
 
+		mixLabel := ""
+		if sc.Arrivals != nil {
+			mixLabel = sc.Arrivals.String()
+		}
 		res := &SimulateResult{
 			Workload: cfg.Workload, Nodes: cfg.Nodes, Ranks: exp.Ranks(), Iters: cfg.Iterations,
 			MTBCENanos: sc.MTBCE, PerEventNanos: int64(sc.PerEvent.(noise.Fixed)),
-			Target: sc.Target, Reps: req.Reps,
+			FaultMix: mixLabel,
+			Target:   sc.Target, Reps: req.Reps,
 			BaselineMakespanNanos: exp.Baseline().Makespan,
 			Saturated:             rep.Saturated,
 			SaturatedReps:         rep.SaturatedReps,
@@ -738,7 +784,7 @@ func (s *Server) sweepOptions(req *SweepRequest) (func(core.Options) (*core.Figu
 	var opts core.Options
 	driver, ok := core.Figures()[req.Figure]
 	if !ok {
-		return nil, opts, fmt.Errorf("unknown figure %q (want 3..7)", req.Figure)
+		return nil, opts, fmt.Errorf("unknown figure %q (want 3..9)", req.Figure)
 	}
 	opts = core.Options{Nodes: req.Nodes, Iterations: req.Iters, Reps: req.Reps, Seed: req.Seed}
 	switch req.Scale {

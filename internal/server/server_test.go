@@ -349,7 +349,7 @@ func TestSimulateValidation(t *testing.T) {
 func TestSweepValidation(t *testing.T) {
 	ts, _, _ := newTestServer(t, jobs.Config{})
 	for name, req := range map[string]SweepRequest{
-		"unknown figure":   {Figure: "9"},
+		"unknown figure":   {Figure: "12"},
 		"unknown scale":    {Figure: "4", Scale: "huge"},
 		"unknown workload": {Figure: "4", Workloads: []string{"nonesuch"}},
 		"bad nodes":        {Figure: "4", Nodes: 1},

@@ -6,6 +6,8 @@ package systems
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/faultmodel"
 )
 
 // SecondsPerYear is the year length used to convert CE rates to MTBCE.
@@ -134,4 +136,98 @@ func LoggingModeByName(name string) (LoggingMode, error) {
 		}
 	}
 	return LoggingMode{}, fmt.Errorf("systems: unknown logging mode %q", name)
+}
+
+// FaultMix is a named fault-mode mixture preset: a faultmodel
+// composition without a rate, grounded in the PAPERS.md field studies.
+// Scenarios attach the system's MTBCE via Spec.WithMTBCE, so the same
+// composition runs at any Table II rate.
+type FaultMix struct {
+	Name        string
+	Description string
+	Spec        faultmodel.Spec
+}
+
+// FaultMixes returns the fault-mix presets in presentation order.
+// Compositions follow "A Systematic Study of DDR4 DRAM Faults in the
+// Field" (single-cell faults dominate, row/column faults arrive in
+// correlated bursts, a minority of DIMMs carries most errors) and
+// "DRAM Errors and Cosmic Rays" (the transient component scales with
+// particle flux).
+func FaultMixes() []FaultMix {
+	return []FaultMix{
+		{
+			Name:        "field-ddr4",
+			Description: "DDR4 field-study mixture: cell-dominant with bursty row/column faults and moderate per-DIMM skew",
+			Spec: faultmodel.Spec{
+				Modes: []faultmodel.Mode{
+					{Kind: "cell", Weight: 0.45},
+					{Kind: "cell", Weight: 0.20, Transient: true},
+					{Kind: "row", Weight: 0.20, BurstLen: 8, BurstGapNanos: 2e6},
+					{Kind: "column", Weight: 0.10, BurstLen: 4, BurstGapNanos: 5e6},
+					{Kind: "bank", Weight: 0.05},
+				},
+				SkewSigma: 1.8,
+			},
+		},
+		{
+			Name:        "high-altitude",
+			Description: "field-ddr4 composition at 4x particle flux (aircraft-altitude transient rates)",
+			Spec: faultmodel.Spec{
+				Modes: []faultmodel.Mode{
+					{Kind: "cell", Weight: 0.45},
+					{Kind: "cell", Weight: 0.20, Transient: true},
+					{Kind: "row", Weight: 0.20, BurstLen: 8, BurstGapNanos: 2e6},
+					{Kind: "column", Weight: 0.10, BurstLen: 4, BurstGapNanos: 5e6},
+					{Kind: "bank", Weight: 0.05},
+				},
+				SkewSigma: 1.8,
+				Flux:      4,
+			},
+		},
+		{
+			Name:        "skewed-dimms",
+			Description: "heavy per-DIMM rate concentration: a few nodes carry most of the CE load",
+			Spec: faultmodel.Spec{
+				Modes: []faultmodel.Mode{
+					{Kind: "cell", Weight: 0.75},
+					{Kind: "row", Weight: 0.25, BurstLen: 8, BurstGapNanos: 2e6},
+				},
+				SkewSigma: 2.2,
+			},
+		},
+		{
+			Name:        "bursty-row",
+			Description: "storm-prone row-fault mixture: long CE trains that trip the CMCI storm threshold",
+			Spec: faultmodel.Spec{
+				Modes: []faultmodel.Mode{
+					{Kind: "cell", Weight: 0.30},
+					{Kind: "row", Weight: 0.60, BurstLen: 64, BurstGapNanos: 1e6},
+					{Kind: "bank", Weight: 0.10, Transient: true},
+				},
+				SkewSigma: 1.0,
+			},
+		},
+	}
+}
+
+// FaultMixByName looks up a fault-mix preset by name.
+func FaultMixByName(name string) (FaultMix, error) {
+	for _, m := range FaultMixes() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return FaultMix{}, fmt.Errorf("systems: unknown fault mix %q", name)
+}
+
+// FaultMixNames returns the preset names in presentation order, for
+// flag validation messages.
+func FaultMixNames() []string {
+	mixes := FaultMixes()
+	out := make([]string, len(mixes))
+	for i, m := range mixes {
+		out[i] = m.Name
+	}
+	return out
 }

@@ -3,6 +3,8 @@ package systems
 import (
 	"math"
 	"testing"
+
+	"repro/internal/mca"
 )
 
 func TestCatalogComplete(t *testing.T) {
@@ -157,5 +159,55 @@ func TestLoggingModes(t *testing.T) {
 	}
 	if _, err := LoggingModeByName("telepathy"); err == nil {
 		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestFaultMixes(t *testing.T) {
+	names := []string{"field-ddr4", "high-altitude", "skewed-dimms", "bursty-row"}
+	mixes := FaultMixes()
+	if len(mixes) != len(names) {
+		t.Fatalf("fault mixes = %d, want %d", len(mixes), len(names))
+	}
+	for i, m := range mixes {
+		if m.Name != names[i] {
+			t.Fatalf("preset %d named %q, want %q (names are API; figures and flags key on them)", i, m.Name, names[i])
+		}
+		if m.Description == "" {
+			t.Fatalf("%s: empty description", m.Name)
+		}
+		if m.Spec.MTBCENanos != 0 {
+			t.Fatalf("%s: presets carry composition only; MTBCE comes from the scenario", m.Name)
+		}
+		// Every preset must compile at a scenario-supplied rate.
+		if _, err := m.Spec.WithMTBCE(3_600_000_000_000).Process(); err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		got, err := FaultMixByName(m.Name)
+		if err != nil {
+			t.Fatalf("FaultMixByName(%q): %v", m.Name, err)
+		}
+		if got.Name != m.Name || len(got.Spec.Modes) != len(m.Spec.Modes) {
+			t.Fatalf("FaultMixByName(%q) returned %+v", m.Name, got)
+		}
+	}
+	if _, err := FaultMixByName("gamma-rays"); err == nil {
+		t.Fatal("unknown fault mix accepted")
+	}
+	if got := FaultMixNames(); len(got) != len(names) || got[0] != "field-ddr4" {
+		t.Fatalf("FaultMixNames() = %v", got)
+	}
+	// The flux knob is what distinguishes high-altitude from field-ddr4.
+	ha, _ := FaultMixByName("high-altitude")
+	if ha.Spec.Flux != 4 {
+		t.Fatalf("high-altitude flux = %v, want 4", ha.Spec.Flux)
+	}
+	// bursty-row must look storm-prone to the mca bridge.
+	br, _ := FaultMixByName("bursty-row")
+	cfg, err := br.Spec.WithMTBCE(3_600_000_000_000).StormMCAConfig(1, mca.Software)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BurstLen != 64 {
+		t.Fatalf("bursty-row storm burst len = %d, want 64", cfg.BurstLen)
 	}
 }
